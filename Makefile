@@ -1,0 +1,33 @@
+# darksim — reproduction of "New Trends in Dark Silicon" (DAC 2015)
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the long transient co-simulations.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper (full durations).
+experiments:
+	$(GO) run ./cmd/darksim all
+
+ablations:
+	$(GO) run ./cmd/darksim ablations
+
+clean:
+	$(GO) clean ./...

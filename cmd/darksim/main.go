@@ -1,0 +1,109 @@
+// Command darksim runs the paper-reproduction experiments and prints the
+// rows and series the paper's tables and figures report.
+//
+// Usage:
+//
+//	darksim list                 # list available experiments
+//	darksim fig5                 # run one experiment
+//	darksim all                  # run everything (transients included)
+//	darksim -duration 20 fig11   # shorten the transient experiments
+//
+// Transient experiments (fig11–fig13) default to the paper's run lengths;
+// -duration trades fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darksim/internal/experiments"
+)
+
+func main() {
+	duration := flag.Float64("duration", 0, "override transient duration in seconds (fig11–fig13)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Description)
+		}
+		for _, e := range experiments.AblationRegistry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Description)
+		}
+	case "all":
+		for _, e := range experiments.Registry() {
+			if err := runOne(e.ID, *duration); err != nil {
+				fmt.Fprintf(os.Stderr, "darksim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case "ablations":
+		for _, e := range experiments.AblationRegistry() {
+			if err := runOne(e.ID, *duration); err != nil {
+				fmt.Fprintf(os.Stderr, "darksim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		if err := runOne(args[0], *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, duration float64) error {
+	r, err := run(id, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== %s ====\n", id)
+	if err := r.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// run dispatches with the optional duration override for the transient
+// experiments.
+func run(id string, duration float64) (experiments.Renderer, error) {
+	if duration > 0 {
+		switch id {
+		case "fig11":
+			return experiments.Fig11(experiments.Fig11Options{DurationS: duration})
+		case "fig12":
+			return experiments.Fig12(experiments.Fig12Options{DurationS: duration})
+		case "fig13":
+			return experiments.Fig13(experiments.Fig13Options{DurationS: duration})
+		}
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		for _, ab := range experiments.AblationRegistry() {
+			if ab.ID == id {
+				return ab.Run()
+			}
+		}
+		return nil, err
+	}
+	return e.Run()
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] <experiment|all|ablations|list>
+
+Reproduces the tables and figures of "New Trends in Dark Silicon"
+(Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of
+this implementation's design choices.
+
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	// A table experiment by id.
+	r, err := run("fig1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Errorf("fig1 rendered nothing")
+	}
+	// An ablation by id.
+	if _, err := run("ab-grid", 0); err != nil {
+		t.Errorf("ab-grid: %v", err)
+	}
+	// Unknown id.
+	if _, err := run("fig99", 0); err == nil {
+		t.Errorf("unknown id should error")
+	}
+}
+
+func TestRunDurationOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiment")
+	}
+	r, err := run("fig11", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

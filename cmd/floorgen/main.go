@@ -1,0 +1,53 @@
+// Command floorgen generates HotSpot-style .flp floorplans for the
+// paper's manycore platforms.
+//
+// Usage:
+//
+//	floorgen -node 16 -cores 100 > chip16.flp
+//	floorgen -cols 18 -rows 11 -area 2.7 > chip11.flp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darksim/internal/floorplan"
+	"darksim/internal/tech"
+)
+
+func main() {
+	node := flag.Int("node", 0, "technology node in nm (sets per-core area; 0 = use -area)")
+	cores := flag.Int("cores", 100, "number of cores (used with -node)")
+	cols := flag.Int("cols", 0, "explicit grid columns (used with -rows/-area)")
+	rows := flag.Int("rows", 0, "explicit grid rows")
+	area := flag.Float64("area", 0, "explicit per-core area in mm²")
+	flag.Parse()
+
+	fp, err := build(*node, *cores, *cols, *rows, *area)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "floorgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := fp.WriteFLP(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "floorgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func build(node, cores, cols, rows int, area float64) (*floorplan.Floorplan, error) {
+	if cols > 0 || rows > 0 {
+		if area <= 0 {
+			return nil, fmt.Errorf("explicit grids need -area")
+		}
+		return floorplan.NewGrid(cols, rows, area)
+	}
+	if node == 0 {
+		return nil, fmt.Errorf("need either -node or -cols/-rows/-area")
+	}
+	spec, err := tech.SpecFor(tech.Node(node))
+	if err != nil {
+		return nil, err
+	}
+	return floorplan.NewGridForCount(cores, spec.CoreAreaMM2)
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestBuildFromNode(t *testing.T) {
+	fp, err := build(16, 100, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 100 {
+		t.Errorf("blocks = %d", fp.NumBlocks())
+	}
+	// 16 nm core area is 5.1 mm².
+	if a := fp.Blocks[0].Area() * 1e6; a < 5.0 || a > 5.2 {
+		t.Errorf("core area = %.2f mm²", a)
+	}
+}
+
+func TestBuildExplicitGrid(t *testing.T) {
+	fp, err := build(0, 0, 6, 4, 2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 24 || fp.Cols != 6 || fp.Rows != 4 {
+		t.Errorf("grid = %dx%d with %d blocks", fp.Cols, fp.Rows, fp.NumBlocks())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build(0, 0, 0, 0, 0); err == nil {
+		t.Errorf("no node and no grid should error")
+	}
+	if _, err := build(0, 0, 6, 4, 0); err == nil {
+		t.Errorf("explicit grid without area should error")
+	}
+	if _, err := build(14, 100, 0, 0, 0); err == nil {
+		t.Errorf("unknown node should error")
+	}
+	if _, err := build(16, 97, 0, 0, 0); err == nil {
+		t.Errorf("prime core count should error")
+	}
+}

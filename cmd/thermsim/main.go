@@ -1,0 +1,150 @@
+// Command thermsim is a standalone HotSpot-style thermal simulator: it
+// reads a floorplan (.flp), an optional configuration (.config) and a
+// power trace (.ptrace), and prints per-block temperatures — the same
+// workflow HotSpot itself implements, backed by this repository's compact
+// RC model.
+//
+// Usage:
+//
+//	thermsim -flp chip.flp -ptrace run.ptrace                  # steady state of first sample
+//	thermsim -flp chip.flp -ptrace run.ptrace -transient -dt 0.001
+//	thermsim -flp chip.flp -config hotspot.config -ptrace run.ptrace
+//
+// In steady-state mode the first trace row is solved; in transient mode
+// every row advances the model by -dt seconds and the hottest block per
+// step is reported, followed by the final per-block map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darksim/internal/floorplan"
+	"darksim/internal/hotspot"
+	"darksim/internal/thermal"
+)
+
+func main() {
+	flpPath := flag.String("flp", "", "floorplan file (.flp), required")
+	cfgPath := flag.String("config", "", "HotSpot-style configuration file (optional)")
+	ptracePath := flag.String("ptrace", "", "power trace file (.ptrace), required")
+	transient := flag.Bool("transient", false, "run the whole trace as a transient")
+	dt := flag.Float64("dt", 1e-3, "transient step per trace row in seconds")
+	flag.Parse()
+	if *flpPath == "" || *ptracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *flpPath, *cfgPath, *ptracePath, *transient, *dt); err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *os.File, flpPath, cfgPath, ptracePath string, transient bool, dt float64) error {
+	fp, trace, model, err := load(flpPath, cfgPath, ptracePath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, fp.NumBlocks())
+	for i, b := range fp.Blocks {
+		names[i] = b.Name
+	}
+	order, err := trace.OrderFor(names)
+	if err != nil {
+		return err
+	}
+	rowToPower := func(row []float64) []float64 {
+		power := make([]float64, fp.NumBlocks())
+		for i, v := range row {
+			power[order[i]] = v
+		}
+		return power
+	}
+
+	if !transient {
+		temps, err := model.SteadyState(rowToPower(trace.Steps[0]))
+		if err != nil {
+			return err
+		}
+		return printTemps(out, names, temps)
+	}
+
+	tr, err := model.NewTransient(dt)
+	if err != nil {
+		return err
+	}
+	var temps []float64
+	for step, row := range trace.Steps {
+		temps, err = tr.Step(rowToPower(row))
+		if err != nil {
+			return err
+		}
+		peak, at := peakOf(temps)
+		fmt.Fprintf(out, "t=%.6f\tpeak=%.3f\t%s\n", float64(step+1)*dt, peak, names[at])
+	}
+	fmt.Fprintln(out, "# final temperatures")
+	return printTemps(out, names, temps)
+}
+
+func load(flpPath, cfgPath, ptracePath string) (*floorplan.Floorplan, *hotspot.PowerTrace, *thermal.Model, error) {
+	flpFile, err := os.Open(flpPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer flpFile.Close()
+	fp, err := floorplan.ReadFLP(flpFile)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", flpPath, err)
+	}
+	nx, ny := fp.Cols, fp.Rows
+	if nx == 0 {
+		// Non-grid floorplans get a fixed die resolution.
+		nx, ny = 16, 16
+	}
+	cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, nx, ny)
+	if cfgPath != "" {
+		cfgFile, err := os.Open(cfgPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer cfgFile.Close()
+		if cfg, err = hotspot.ReadConfig(cfgFile, fp.DieW, fp.DieH, nx, ny); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", cfgPath, err)
+		}
+	}
+	model, err := thermal.NewModel(fp, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ptFile, err := os.Open(ptracePath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer ptFile.Close()
+	trace, err := hotspot.ReadPTrace(ptFile)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", ptracePath, err)
+	}
+	return fp, trace, model, nil
+}
+
+func printTemps(out *os.File, names []string, temps []float64) error {
+	for i, n := range names {
+		if _, err := fmt.Fprintf(out, "%s\t%.3f\n", n, temps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func peakOf(temps []float64) (float64, int) {
+	best, at := temps[0], 0
+	for i, t := range temps {
+		if t > best {
+			best, at = t, i
+		}
+	}
+	return best, at
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darksim/internal/floorplan"
+	"darksim/internal/hotspot"
+	"darksim/internal/thermal"
+)
+
+// writeInputs materializes a 4x4 floorplan, a config and a 3-step ptrace
+// in a temp dir and returns their paths.
+func writeInputs(t *testing.T) (flp, cfg, ptrace string) {
+	t.Helper()
+	dir := t.TempDir()
+	fp, err := floorplan.NewGrid(4, 4, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flp = filepath.Join(dir, "chip.flp")
+	f, err := os.Create(flp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.WriteFLP(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg = filepath.Join(dir, "hotspot.config")
+	cf, err := os.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hotspot.WriteConfig(cf, thermal.DefaultConfig(fp.DieW, fp.DieH, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+
+	tr := &hotspot.PowerTrace{}
+	for _, b := range fp.Blocks {
+		tr.Units = append(tr.Units, b.Name)
+	}
+	for step := 0; step < 3; step++ {
+		row := make([]float64, len(tr.Units))
+		for i := range row {
+			row[i] = 2.0
+		}
+		tr.Steps = append(tr.Steps, row)
+	}
+	ptrace = filepath.Join(dir, "run.ptrace")
+	pf, err := os.Create(ptrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hotspot.WritePTrace(pf, tr); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	return flp, cfg, ptrace
+}
+
+// capture runs fn with stdout redirected to a pipe and returns the output.
+func capture(t *testing.T, fn func(out *os.File) error) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestSteadyState(t *testing.T) {
+	flp, cfg, ptrace := writeInputs(t)
+	out := capture(t, func(f *os.File) error {
+		return run(f, flp, cfg, ptrace, false, 1e-3)
+	})
+	if !strings.Contains(out, "core_0_0\t") {
+		t.Errorf("missing block output:\n%s", out)
+	}
+	// 16 cores × 2 W ≈ 45 °C ambient-ish + 3 K: parse one temperature.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 16 {
+		t.Errorf("expected 16 block lines, got %d", len(lines))
+	}
+}
+
+func TestTransient(t *testing.T) {
+	flp, _, ptrace := writeInputs(t)
+	out := capture(t, func(f *os.File) error {
+		return run(f, flp, "", ptrace, true, 1e-2)
+	})
+	if !strings.Contains(out, "t=0.010000") || !strings.Contains(out, "# final temperatures") {
+		t.Errorf("transient output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	flp, cfg, ptrace := writeInputs(t)
+	if err := run(os.Stdout, "nope.flp", cfg, ptrace, false, 1e-3); err == nil {
+		t.Errorf("missing floorplan should error")
+	}
+	if err := run(os.Stdout, flp, "nope.config", ptrace, false, 1e-3); err == nil {
+		t.Errorf("missing config should error")
+	}
+	if err := run(os.Stdout, flp, cfg, "nope.ptrace", false, 1e-3); err == nil {
+		t.Errorf("missing ptrace should error")
+	}
+	// A ptrace whose units do not match the floorplan.
+	dir := t.TempDir()
+	badTrace := filepath.Join(dir, "bad.ptrace")
+	if err := os.WriteFile(badTrace, []byte("alien\n1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, flp, cfg, badTrace, false, 1e-3); err == nil {
+		t.Errorf("unit mismatch should error")
+	}
+}

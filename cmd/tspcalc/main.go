@@ -1,0 +1,65 @@
+// Command tspcalc prints the Thermal Safe Power table for a platform:
+// the worst-case per-core power budget as a function of the number of
+// active cores (Pagani et al., the §5 concept of the paper).
+//
+// Usage:
+//
+//	tspcalc -node 16 -cores 100 -tcrit 80
+//	tspcalc -node 11 -cores 198 -max 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darksim/internal/core"
+	"darksim/internal/report"
+	"darksim/internal/tech"
+	"darksim/internal/tsp"
+)
+
+func main() {
+	node := flag.Int("node", 16, "technology node in nm (22, 16, 11, 8)")
+	cores := flag.Int("cores", 100, "number of cores on the chip")
+	tcrit := flag.Float64("tcrit", core.DefaultTDTM, "critical temperature in °C")
+	max := flag.Int("max", 0, "largest active-core count to tabulate (default: all cores)")
+	step := flag.Int("step", 1, "tabulation step")
+	flag.Parse()
+
+	if err := run(tech.Node(*node), *cores, *tcrit, *max, *step); err != nil {
+		fmt.Fprintf(os.Stderr, "tspcalc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(node tech.Node, cores int, tcrit float64, max, step int) error {
+	p, err := core.NewPlatformWith(node, core.Options{Cores: cores, TDTM: tcrit})
+	if err != nil {
+		return err
+	}
+	calc, err := tsp.New(p.Thermal, tcrit)
+	if err != nil {
+		return err
+	}
+	if max <= 0 || max > cores {
+		max = cores
+	}
+	if step <= 0 {
+		step = 1
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Worst-case TSP, %s, %d cores, Tcrit = %.1f °C", node, cores, tcrit),
+		Columns: []string{"active cores", "TSP/core [W]", "total [W]"},
+	}
+	for n := step; n <= max; n += step {
+		entry, _, err := calc.WorstCase(n)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", entry),
+			fmt.Sprintf("%.1f", entry*float64(n)))
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"darksim/internal/tech"
+)
+
+func TestRunTable(t *testing.T) {
+	// run prints to stdout; correctness of the numbers is covered by
+	// internal/tsp — here we exercise the CLI path end to end.
+	if err := run(tech.Node16, 100, 80, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClampsAndDefaults(t *testing.T) {
+	// max > cores clamps; step <= 0 resets to 1.
+	if err := run(tech.Node16, 16, 80, 999, -3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(tech.Node(14), 100, 80, 10, 5); err == nil {
+		t.Errorf("unknown node should error")
+	}
+	if err := run(tech.Node16, 100, 30, 10, 5); err == nil {
+		t.Errorf("threshold below ambient should error")
+	}
+}

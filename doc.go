@@ -1,0 +1,11 @@
+// Package darksim is a from-scratch Go reproduction of "New Trends in
+// Dark Silicon" (Henkel, Khdr, Pagani, Shafique — DAC 2015): the revised,
+// temperature-aware dark-silicon estimation methodology and every
+// substrate its tool flow depends on.
+//
+// The repository root carries the benchmark harness (bench_test.go, one
+// benchmark per paper table/figure plus the ablation studies); the
+// library lives under internal/ and the executables under cmd/. See
+// README.md for the architecture, DESIGN.md for the per-experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+package darksim

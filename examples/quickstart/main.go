@@ -1,0 +1,51 @@
+// Quickstart: estimate dark silicon for one application on a 100-core
+// 16 nm chip, first the classic way (TDP budget) and then the paper's way
+// (temperature constraint) — and see why the two disagree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"darksim/internal/apps"
+	"darksim/internal/core"
+	"darksim/internal/tech"
+)
+
+func main() {
+	// A platform bundles the floorplan, the Eq.(1)/(2) power and V/f
+	// models and the HotSpot-style thermal model for one node.
+	platform, err := core.NewPlatform(tech.Node16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := apps.ByName("swaptions")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("platform: %d cores at %s, core area %.1f mm², TDTM %.0f °C\n",
+		platform.NumCores(), platform.Node, platform.Spec.CoreAreaMM2, platform.TDTM)
+	fmt.Printf("app: %s (IPC %.1f, parallel fraction %.2f)\n\n", app.Name, app.IPC, app.ParallelFrac)
+
+	// 1. Dark silicon as a power-budget constraint (the state of the art
+	//    the paper critiques): fill the chip with 8-thread instances at
+	//    the nominal maximum frequency until the TDP is spent.
+	tdp, err := platform.DarkSiliconUnderTDP(app, 185, platform.Curve.FmaxGHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TDP-constrained:   ", tdp.Summary)
+
+	// 2. Dark silicon as a temperature constraint (the paper's §3.2):
+	//    keep activating patterned cores while the steady-state peak
+	//    temperature stays below the DTM threshold.
+	temp, err := platform.DarkSiliconUnderTemp(app, platform.Curve.FmaxGHz, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Temp-constrained:  ", temp.Summary)
+
+	saved := temp.Summary.ActiveCores - tdp.Summary.ActiveCores
+	fmt.Printf("\nthe temperature constraint lights %d extra cores the TDP budget wastes\n", saved)
+}

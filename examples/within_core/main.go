@@ -1,0 +1,94 @@
+// Within-core thermal detail: expand a core-level floorplan into McPAT-
+// style functional components (execution clusters, caches, frontend),
+// split each core's Equation (1) power across them, and render the
+// within-core hotspot a block-level model averages away.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"darksim/internal/apps"
+	"darksim/internal/floorplan"
+	"darksim/internal/mcpat"
+	"darksim/internal/report"
+	"darksim/internal/tech"
+	"darksim/internal/thermal"
+	"darksim/internal/vf"
+)
+
+func main() {
+	// A small 3x3 corner of the 16 nm chip, fully active.
+	fp, err := floorplan.NewGrid(3, 3, 5.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := apps.ByName("swaptions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const fGHz = 3.6
+	corePowerW, err := app.CorePower(tech.Node16, fGHz, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	comps := mcpat.DefaultBreakdown()
+	sub, err := mcpat.ExpandFloorplan(fp, comps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corePower := make([]float64, fp.NumBlocks())
+	for i := range corePower {
+		corePower[i] = corePowerW
+	}
+	// Roughly 80 % of the core's power is dynamic at this operating point.
+	subPower, err := mcpat.ExpandPower(corePower, comps, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fine die grid (5 cells per core side) to resolve the components.
+	model, err := thermal.NewModel(sub, thermal.DefaultConfig(sub.DieW, sub.DieH, 15, 15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	temps, err := model.SteadyState(subPower)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Report per-component temperatures of the centre core.
+	t := &report.Table{
+		Title:   fmt.Sprintf("centre core components (%s @ %.1f GHz, %.2f W/core)", app.Name, fGHz, corePowerW),
+		Columns: []string{"component", "power [W]", "temp [°C]"},
+	}
+	ratio, err := mcpat.PowerDensityRatio(comps, 0.8*corePowerW, 0.2*corePowerW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hottest string
+	var peak float64
+	for i, b := range sub.Blocks {
+		if len(b.Name) > 9 && b.Name[:8] == "core_1_1" {
+			t.AddRow(b.Name[9:], fmt.Sprintf("%.2f", subPower[i]), fmt.Sprintf("%.2f", temps[i]))
+			if temps[i] > peak {
+				peak, hottest = temps[i], b.Name[9:]
+			}
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhottest component: %s at %.2f °C (power-density ratio %.1fx the core average)\n",
+		hottest, peak, ratio)
+
+	// Sanity: the operating point is on the Eq.(2) curve.
+	curve := vf.MustCurve(tech.Node16)
+	vdd, err := curve.VoltageFor(fGHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operating point: %.1f GHz at %.2f V (%s)\n", fGHz, vdd, curve.RegionOf(vdd))
+}

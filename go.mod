@@ -1,0 +1,3 @@
+module darksim
+
+go 1.24

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"darksim/internal/apps"
+	"darksim/internal/core"
+	"darksim/internal/tech"
+)
+
+// Example reproduces the library's headline comparison in a few lines:
+// the same application and chip, estimated under a TDP budget and under
+// the temperature constraint.
+func Example() {
+	platform, err := core.NewPlatform(tech.Node16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := apps.ByName("swaptions")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tdp, err := platform.DarkSiliconUnderTDP(app, 185, 3.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temp, err := platform.DarkSiliconUnderTemp(app, 3.6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TDP 185 W:  %d/%d cores active\n", tdp.Summary.ActiveCores, tdp.Summary.TotalCores)
+	fmt.Printf("TDTM 80 °C: %d/%d cores active\n", temp.Summary.ActiveCores, temp.Summary.TotalCores)
+	// Output:
+	// TDP 185 W:  49/100 cores active
+	// TDTM 80 °C: 61/100 cores active
+}

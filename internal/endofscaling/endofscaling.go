@@ -1,0 +1,145 @@
+// Package endofscaling implements the baseline dark-silicon methodology
+// the paper critiques: the power-budget upper-bound model in the style of
+// Esmaeilzadeh et al., "Dark silicon and the end of multicore scaling"
+// (ISCA 2011) — reference [6] of the paper.
+//
+// The baseline models dark silicon purely as a chip-level power budget:
+// a chip of area A_chip holds n_area = A_chip / A_core cores; a TDP of
+// P_budget sustains n_power = P_budget / P_core(fmax) cores at the maximum
+// voltage/frequency; everything beyond n_power is dark. Two of the
+// paper's objections are visible directly in this model's structure:
+//
+//   - it runs every powered core at the maximum v/f level (no DVFS), and
+//   - it never consults temperature, so it cannot see either the thermal
+//     violations an optimistic budget hides or the headroom a pessimistic
+//     budget wastes.
+//
+// It also provides the ISCA'11-style symmetric-multicore speedup bound
+// (Amdahl over the powered cores, Pollack's rule for single-core
+// performance vs area) used to reproduce the "end of multicore scaling"
+// projection the paper argues is over-pessimistic.
+package endofscaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"darksim/internal/amdahl"
+	"darksim/internal/apps"
+	"darksim/internal/tech"
+)
+
+// ErrModel is returned for invalid model inputs.
+var ErrModel = errors.New("endofscaling: invalid")
+
+// ChipBudget describes the fixed chip envelope the ISCA'11 analysis
+// scales designs into.
+type ChipBudget struct {
+	// AreaMM2 is the chip's core-array area budget in mm².
+	AreaMM2 float64
+	// TDPW is the chip power budget in watts.
+	TDPW float64
+}
+
+// Estimate is the baseline model's output for one node.
+type Estimate struct {
+	Node tech.Node
+	// AreaCores is how many cores fit in the area budget.
+	AreaCores int
+	// PowerCores is how many cores the TDP sustains at fmax.
+	PowerCores int
+	// ActiveCores = min(AreaCores, PowerCores).
+	ActiveCores int
+	// DarkFraction = 1 − ActiveCores/AreaCores.
+	DarkFraction float64
+	// FmaxGHz is the (only) operating point the baseline considers.
+	FmaxGHz float64
+	// CorePowerW is the per-core Equation (1) power at fmax.
+	CorePowerW float64
+}
+
+// DarkSilicon evaluates the power-budget model for an application at a
+// node: cores run the app at the node's maximum nominal v/f, the budget
+// is evaluated at the given temperature (the baseline has no thermal
+// model, so this is the fixed junction temperature assumption — 80 °C in
+// the paper's comparisons).
+func DarkSilicon(node tech.Node, app apps.App, budget ChipBudget, tempC float64) (Estimate, error) {
+	if budget.AreaMM2 <= 0 || budget.TDPW <= 0 {
+		return Estimate{}, fmt.Errorf("%w: budget %+v", ErrModel, budget)
+	}
+	spec, err := tech.SpecFor(node)
+	if err != nil {
+		return Estimate{}, err
+	}
+	corePower, err := app.CorePower(node, spec.FmaxGHz, tempC)
+	if err != nil {
+		return Estimate{}, err
+	}
+	areaCores := int(budget.AreaMM2 / spec.CoreAreaMM2)
+	if areaCores < 1 {
+		return Estimate{}, fmt.Errorf("%w: area budget %.1f mm² below one %.1f mm² core",
+			ErrModel, budget.AreaMM2, spec.CoreAreaMM2)
+	}
+	powerCores := int(budget.TDPW / corePower)
+	active := powerCores
+	if active > areaCores {
+		active = areaCores
+	}
+	if active < 0 {
+		active = 0
+	}
+	return Estimate{
+		Node:         node,
+		AreaCores:    areaCores,
+		PowerCores:   powerCores,
+		ActiveCores:  active,
+		DarkFraction: 1 - float64(active)/float64(areaCores),
+		FmaxGHz:      spec.FmaxGHz,
+		CorePowerW:   corePower,
+	}, nil
+}
+
+// PollackExponent is Pollack's rule: single-core performance grows with
+// the square root of core area (resources).
+const PollackExponent = 0.5
+
+// SpeedupBound returns the ISCA'11-style symmetric-multicore speedup of
+// the estimate over a reference single core of the 22 nm generation,
+// assuming Amdahl scaling with the given parallel fraction across the
+// powered cores and frequency scaling from the node factors:
+//
+//	serial perf  = (f_node/f_22) · (A_core,node/A_core,22)^PollackExponent
+//	speedup      = 1 / ((1−p)/serial + p/(n·serial))
+//
+// (All cores are identical, so the serial and parallel per-core
+// performances coincide; the bound reduces to serial · Amdahl(n).)
+func (e Estimate) SpeedupBound(parallelFrac float64) (float64, error) {
+	law, err := amdahl.NewAmdahl(parallelFrac)
+	if err != nil {
+		return 0, err
+	}
+	factors, err := tech.FactorsFor(e.Node)
+	if err != nil {
+		return 0, err
+	}
+	serial := factors.Frequency * math.Pow(factors.Area, PollackExponent)
+	if e.ActiveCores == 0 {
+		return 0, nil
+	}
+	return serial * law.Speedup(e.ActiveCores), nil
+}
+
+// Sweep evaluates the model across all nodes for one application and
+// budget, the trend table of the ISCA'11 projection.
+func Sweep(app apps.App, budget ChipBudget, tempC float64) ([]Estimate, error) {
+	var out []Estimate
+	for _, node := range tech.Nodes() {
+		e, err := DarkSilicon(node, app, budget, tempC)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

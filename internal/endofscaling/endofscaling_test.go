@@ -1,0 +1,181 @@
+package endofscaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darksim/internal/apps"
+	"darksim/internal/tech"
+)
+
+// budget960 is the 22 nm 100-core chip's core-array area with the paper's
+// pessimistic TDP.
+func budget960() ChipBudget { return ChipBudget{AreaMM2: 960, TDPW: 185} }
+
+func TestDarkSiliconGrowsWithScaling(t *testing.T) {
+	// The ISCA'11 headline: at a fixed area and power budget, dark
+	// silicon grows monotonically with scaling (more cores fit, the
+	// budget powers relatively fewer).
+	s, err := apps.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := Sweep(s, budget960(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 4 {
+		t.Fatalf("sweep = %d nodes", len(ests))
+	}
+	prev := -1.0
+	for _, e := range ests {
+		if e.DarkFraction < prev-1e-9 {
+			t.Errorf("dark fraction should grow with scaling: %+v", ests)
+		}
+		prev = e.DarkFraction
+		if e.ActiveCores > e.AreaCores {
+			t.Errorf("%v: active %d exceeds area cores %d", e.Node, e.ActiveCores, e.AreaCores)
+		}
+	}
+	// The model predicts massive dark silicon at the smallest node —
+	// the over-pessimism the paper pushes back on.
+	last := ests[len(ests)-1]
+	if last.Node != tech.Node8 || last.DarkFraction < 0.5 {
+		t.Errorf("8 nm baseline dark fraction = %.2f, expected > 0.5", last.DarkFraction)
+	}
+}
+
+func TestAreaCoreCounts(t *testing.T) {
+	s, _ := apps.ByName("swaptions")
+	e, err := DarkSilicon(tech.Node22, s, budget960(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 960 mm² / 9.6 mm² = 100 cores at 22 nm.
+	if e.AreaCores != 100 {
+		t.Errorf("22 nm area cores = %d, want 100", e.AreaCores)
+	}
+	e16, err := DarkSilicon(tech.Node16, s, budget960(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 960 / 5.1 ≈ 188 cores at 16 nm.
+	if e16.AreaCores < 185 || e16.AreaCores > 190 {
+		t.Errorf("16 nm area cores = %d", e16.AreaCores)
+	}
+}
+
+func TestDarkSiliconErrors(t *testing.T) {
+	s, _ := apps.ByName("swaptions")
+	if _, err := DarkSilicon(tech.Node16, s, ChipBudget{AreaMM2: 0, TDPW: 185}, 80); err == nil {
+		t.Errorf("zero area should error")
+	}
+	if _, err := DarkSilicon(tech.Node16, s, ChipBudget{AreaMM2: 960, TDPW: 0}, 80); err == nil {
+		t.Errorf("zero TDP should error")
+	}
+	if _, err := DarkSilicon(tech.Node(14), s, budget960(), 80); err == nil {
+		t.Errorf("unknown node should error")
+	}
+	if _, err := DarkSilicon(tech.Node16, s, ChipBudget{AreaMM2: 1, TDPW: 185}, 80); err == nil {
+		t.Errorf("sub-core area should error")
+	}
+	if _, err := Sweep(s, ChipBudget{AreaMM2: -1, TDPW: 1}, 80); err == nil {
+		t.Errorf("sweep with bad budget should error")
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	s, _ := apps.ByName("swaptions")
+	e22, err := DarkSilicon(tech.Node22, s, budget960(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the baseline node the serial factor is 1, so the bound is pure
+	// Amdahl over the active cores.
+	sp, err := e22.SpeedupBound(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.25 + 0.75/float64(e22.ActiveCores))
+	if math.Abs(sp-want) > 1e-9 {
+		t.Errorf("22 nm bound = %v, want %v", sp, want)
+	}
+	// Invalid fraction.
+	if _, err := e22.SpeedupBound(1.5); err != nil {
+		// expected
+	} else {
+		t.Errorf("invalid parallel fraction should error")
+	}
+	// Zero active cores gives zero speedup.
+	zero := Estimate{Node: tech.Node8, AreaCores: 10}
+	if sp, err := zero.SpeedupBound(0.9); err != nil || sp != 0 {
+		t.Errorf("zero-active bound = %v, %v", sp, err)
+	}
+	// Speedup saturates far below the core count: the "end of multicore
+	// scaling" message.
+	e8, err := DarkSilicon(tech.Node8, s, budget960(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp8, err := e8.SpeedupBound(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp8 > 10 {
+		t.Errorf("8 nm Amdahl bound %.1f should saturate near 1/(1-p) scaled", sp8)
+	}
+	if sp8 <= 0 {
+		t.Errorf("8 nm bound should be positive")
+	}
+}
+
+func TestBaselineOverestimatesVsPaper22nm(t *testing.T) {
+	// The paper's complaint about [6]: "this work predicted that the
+	// dark silicon in 22 nm would exceed 50% of the total chip area,
+	// which has not been observed". Our baseline reproduces a
+	// qualitatively similar over-estimate once the budget is tightened
+	// the way [6]'s fixed-envelope analysis does (the 22 nm chip
+	// saturates its area budget, so dark silicon comes from power).
+	s, _ := apps.ByName("swaptions")
+	tight := ChipBudget{AreaMM2: 960, TDPW: 120}
+	e, err := DarkSilicon(tech.Node22, s, tight, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DarkFraction < 0.3 {
+		t.Errorf("tight-budget 22 nm dark fraction = %.2f; baseline should over-estimate", e.DarkFraction)
+	}
+}
+
+// Property: the baseline's dark fraction is within [0, 1], shrinks (or
+// holds) as the TDP grows, and never activates more cores than fit.
+func TestBaselineMonotoneInBudgetProperty(t *testing.T) {
+	s, err := apps.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		node := []tech.Node{tech.Node22, tech.Node16, tech.Node11, tech.Node8}[rng.Intn(4)]
+		area := 200 + 1000*rng.Float64()
+		tdpLo := 50 + 200*rng.Float64()
+		tdpHi := tdpLo + 100*rng.Float64()
+		lo, err := DarkSilicon(node, s, ChipBudget{AreaMM2: area, TDPW: tdpLo}, 80)
+		if err != nil {
+			return false
+		}
+		hi, err := DarkSilicon(node, s, ChipBudget{AreaMM2: area, TDPW: tdpHi}, 80)
+		if err != nil {
+			return false
+		}
+		if lo.DarkFraction < 0 || lo.DarkFraction > 1 {
+			return false
+		}
+		return hi.DarkFraction <= lo.DarkFraction+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

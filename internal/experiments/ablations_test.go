@@ -1,0 +1,207 @@
+package experiments
+
+import "testing"
+
+func TestAblationRegistry(t *testing.T) {
+	reg := AblationRegistry()
+	if len(reg) != 8 {
+		t.Fatalf("ablations = %d", len(reg))
+	}
+	for _, e := range reg {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete ablation %+v", e)
+		}
+	}
+}
+
+func TestAblationRotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiment")
+	}
+	r, err := AblationRotation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Identical performance across policies…
+	for _, row := range r.Rows[1:] {
+		if diff := row.AvgGIPS - r.Rows[0].AvgGIPS; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: GIPS differs from baseline", row.Policy)
+		}
+	}
+	// …with strictly improving peak temperature:
+	// contiguous > checkerboard > rotated.
+	if !(r.Rows[0].MaxTempC > r.Rows[1].MaxTempC && r.Rows[1].MaxTempC > r.Rows[2].MaxTempC+0.3) {
+		t.Errorf("expected contiguous > checkerboard > rotated peaks, got %+v", r.Rows)
+	}
+	renderOK(t, r)
+}
+
+func TestAblationGrid(t *testing.T) {
+	r, err := AblationGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The default resolution (8×8 spreader) must sit within 1 °C of the
+	// finest grid tested.
+	var def, fine float64
+	for _, row := range r.Rows {
+		switch row.SpreaderN {
+		case 8:
+			def = row.PeakC
+		case 16:
+			fine = row.PeakC
+		}
+	}
+	if d := def - fine; d > 1 || d < -1 {
+		t.Errorf("default grid off by %.2f °C from fine grid", d)
+	}
+	// Node count grows with resolution.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Nodes <= r.Rows[i-1].Nodes {
+			t.Errorf("node count should grow with resolution")
+		}
+	}
+	renderOK(t, r)
+}
+
+func TestAblationHoldBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiment")
+	}
+	r, err := AblationHoldBand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Wider bands trade performance for overshoot: GIPS non-increasing,
+	// overshoot non-increasing.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].AvgGIPS > r.Rows[i-1].AvgGIPS+0.5 {
+			t.Errorf("GIPS should not grow with wider bands: %+v", r.Rows)
+		}
+		if r.Rows[i].OvershootC > r.Rows[i-1].OvershootC+0.05 {
+			t.Errorf("overshoot should not grow with wider bands: %+v", r.Rows)
+		}
+	}
+	// No run may lean on the emergency throttle.
+	for _, row := range r.Rows {
+		if row.DTMEvents > 0 {
+			t.Errorf("band %.1f: %d DTM events", row.BandC, row.DTMEvents)
+		}
+	}
+	renderOK(t, r)
+}
+
+func TestAblationStrategies(t *testing.T) {
+	r, err := AblationStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := map[string]int{}
+	for _, row := range r.Rows {
+		safe[row.Strategy] = row.SafeCores
+		if row.TSPatMax <= 0 {
+			t.Errorf("%s: TSP = %v", row.Strategy, row.TSPatMax)
+		}
+	}
+	// Patterned strategies beat contiguous (the Fig. 8 argument,
+	// quantified across strategies).
+	if safe["contiguous"] >= safe["checkerboard"] || safe["contiguous"] >= safe["periphery"] {
+		t.Errorf("contiguous should be the worst strategy: %v", safe)
+	}
+	if safe["periphery"] < safe["maxspread"]-3 {
+		t.Errorf("periphery and maxspread should be comparable: %v", safe)
+	}
+	renderOK(t, r)
+}
+
+func TestAblationLadderStep(t *testing.T) {
+	r, err := AblationLadderStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Finer ladders never lose performance, and the paper's 0.2 GHz step
+	// stays within a few per cent of the finest ladder.
+	finest := r.Rows[0].BestGIPS
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].BestGIPS > finest+1e-9 {
+			t.Errorf("coarser ladder cannot beat finest")
+		}
+	}
+	var step02 float64
+	for _, row := range r.Rows {
+		if row.StepGHz == 0.2 {
+			step02 = row.BestGIPS
+		}
+	}
+	if (finest-step02)/finest > 0.05 {
+		t.Errorf("0.2 GHz step loses %.1f%% vs finest", 100*(finest-step02)/finest)
+	}
+	renderOK(t, r)
+}
+
+func TestAblationAging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiment")
+	}
+	r, err := AblationAging()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Rotation lowers both the hottest core's wear and the imbalance
+	// versus both static policies.
+	rot := r.Rows[2]
+	for _, static := range r.Rows[:2] {
+		if rot.MaxWearS >= static.MaxWearS {
+			t.Errorf("rotation max wear %.2f should be below %s %.2f",
+				rot.MaxWearS, static.Policy, static.MaxWearS)
+		}
+		if rot.Imbalance >= static.Imbalance {
+			t.Errorf("rotation imbalance %.2f should be below %s %.2f",
+				rot.Imbalance, static.Policy, static.Imbalance)
+		}
+	}
+	renderOK(t, r)
+}
+
+func TestAblationVariability(t *testing.T) {
+	r, err := AblationVariability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	obl, aware := r.Rows[0], r.Rows[1]
+	// The aware selection picks lower-leakage silicon and spends less
+	// total power at identical performance…
+	if aware.MeanLeakMul >= obl.MeanLeakMul {
+		t.Errorf("aware mean multiplier %.3f should be below oblivious %.3f",
+			aware.MeanLeakMul, obl.MeanLeakMul)
+	}
+	if aware.TotalPowerW >= obl.TotalPowerW {
+		t.Errorf("aware power %.1f should be below oblivious %.1f",
+			aware.TotalPowerW, obl.TotalPowerW)
+	}
+	// …while staying thermally comparable (it may pull a few cores
+	// toward the die interior to reach cool silicon).
+	if aware.PeakC > obl.PeakC+0.75 {
+		t.Errorf("aware peak %.2f drifted too far above oblivious %.2f",
+			aware.PeakC, obl.PeakC)
+	}
+	renderOK(t, r)
+}

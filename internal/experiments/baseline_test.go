@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestBaselineOverestimation(t *testing.T) {
+	r, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The paper's §3 claim: the power-budget model of [6]
+		// over-estimates dark silicon relative to the temperature-aware
+		// estimate, and DVFS reduces it further.
+		if row.BaselineDark <= row.RevisedDark {
+			t.Errorf("%v: baseline %0.f%% should exceed revised %0.f%%",
+				row.Node, row.BaselineDark, row.RevisedDark)
+		}
+		if row.RevisedDVFS >= row.RevisedDark {
+			t.Errorf("%v: DVFS should reduce dark silicon further", row.Node)
+		}
+		if row.SpeedupBound <= 0 {
+			t.Errorf("%v: speedup bound %v", row.Node, row.SpeedupBound)
+		}
+	}
+	// The ISCA'11 Amdahl bound saturates across nodes ("the end of
+	// multicore scaling"), while the paper's Fig. 10 shows our revised
+	// methodology's GIPS still growing — both visible in this repo.
+	first, last := r.Rows[0].SpeedupBound, r.Rows[len(r.Rows)-1].SpeedupBound
+	if last > first*1.25 {
+		t.Errorf("baseline bound should saturate: %v -> %v", first, last)
+	}
+	renderOK(t, r)
+}

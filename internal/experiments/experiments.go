@@ -1,0 +1,114 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: one Run function per figure (Fig1 … Fig14), each returning a
+// typed result with a Render method that prints the same rows/series the
+// paper reports. cmd/darksim dispatches into this package; bench_test.go
+// at the repository root wraps each experiment in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"darksim/internal/apps"
+	"darksim/internal/core"
+	"darksim/internal/tech"
+)
+
+// platformKey identifies a cached platform.
+type platformKey struct {
+	node  tech.Node
+	cores int
+}
+
+var (
+	platMu    sync.Mutex
+	platCache = map[platformKey]*core.Platform{}
+)
+
+// platformFor returns a cached Platform: building one factors a Cholesky
+// of the thermal network, which is worth sharing across experiments.
+func platformFor(node tech.Node, cores int) (*core.Platform, error) {
+	platMu.Lock()
+	defer platMu.Unlock()
+	key := platformKey{node, cores}
+	if p, ok := platCache[key]; ok {
+		return p, nil
+	}
+	p, err := core.NewPlatformWith(node, core.Options{Cores: cores})
+	if err != nil {
+		return nil, err
+	}
+	platCache[key] = p
+	return p, nil
+}
+
+// coresForNode returns the paper's platform size per node (§2.1: "manycore
+// systems composed of 100, 198, and 361 cores"): the chip grows as cores
+// shrink.
+func coresForNode(node tech.Node) int {
+	switch node {
+	case tech.Node11:
+		return 198
+	case tech.Node8:
+		return 361
+	default:
+		return 100
+	}
+}
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer) error
+}
+
+// Experiment couples an id with its runner for the CLI registry.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func() (Renderer, error)
+}
+
+// Registry lists all experiments in figure order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "ITRS scaling factors and derived per-node specs (Figure 1)", func() (Renderer, error) { return Fig1() }},
+		{"fig2", "Frequency vs voltage design space, Eq.(2) (Figure 2)", func() (Renderer, error) { return Fig2() }},
+		{"fig3", "Power model fit vs synthetic McPAT samples, x264 @22nm (Figure 3)", func() (Renderer, error) { return Fig3() }},
+		{"fig4", "Speed-up vs parallel threads (Figure 4)", func() (Renderer, error) { return Fig4() }},
+		{"fig5", "Dark silicon under optimistic/pessimistic TDP (Figure 5)", func() (Renderer, error) { return Fig5() }},
+		{"fig6", "TDP- vs temperature-constrained dark silicon (Figure 6)", func() (Renderer, error) { return Fig6() }},
+		{"fig7", "DVFS scenarios: performance and dark silicon (Figure 7)", func() (Renderer, error) { return Fig7() }},
+		{"fig8", "Dark silicon patterning vs contiguous mapping (Figure 8)", func() (Renderer, error) { return Fig8() }},
+		{"fig9", "TDPmap vs DsRem (Figure 9)", func() (Renderer, error) { return Fig9() }},
+		{"fig10", "Performance under TSP across nodes (Figure 10)", func() (Renderer, error) { return Fig10() }},
+		{"fig11", "Boosting vs constant frequency transients (Figure 11)", func() (Renderer, error) { return Fig11(DefaultFig11Options()) }},
+		{"fig12", "Boost/constant scaling with active cores (Figure 12)", func() (Renderer, error) { return Fig12(DefaultFig12Options()) }},
+		{"fig13", "Boost/constant across applications @11nm (Figure 13)", func() (Renderer, error) { return Fig13(DefaultFig13Options()) }},
+		{"fig14", "STC vs NTC performance and energy (Figure 14)", func() (Renderer, error) { return Fig14() }},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// paperOrder returns the catalog in the paper's per-figure (a)–(g) order:
+// x264, blackscholes, bodytrack, ferret, canneal, dedup, swaptions.
+func paperOrder() []apps.App {
+	order := []string{"x264", "blackscholes", "bodytrack", "ferret", "canneal", "dedup", "swaptions"}
+	cat := apps.Catalog()
+	rank := make(map[string]int, len(order))
+	for i, n := range order {
+		rank[n] = i
+	}
+	sort.SliceStable(cat, func(i, j int) bool { return rank[cat[i].Name] < rank[cat[j].Name] })
+	return cat
+}

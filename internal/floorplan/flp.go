@@ -1,0 +1,117 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFLP writes the floorplan in the HotSpot .flp text format:
+//
+//	<unit-name> <width> <height> <left-x> <bottom-y>
+//
+// with all dimensions in metres, one block per line, '#' comments. Blocks
+// are emitted in name order for deterministic output.
+func (fp *Floorplan) WriteFLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# floorplan: %d blocks, die %.6f x %.6f m\n", len(fp.Blocks), fp.DieW, fp.DieH)
+	fmt.Fprintf(bw, "# <unit-name> <width> <height> <left-x> <bottom-y>\n")
+	for _, i := range fp.SortedByName() {
+		b := fp.Blocks[i]
+		fmt.Fprintf(bw, "%s\t%.9f\t%.9f\t%.9f\t%.9f\n", b.Name, b.W, b.H, b.X, b.Y)
+	}
+	return bw.Flush()
+}
+
+// ReadFLP parses a HotSpot-style .flp stream. Grid metadata (Rows/Cols)
+// is reconstructed when block names follow the core_<row>_<col> convention
+// produced by NewGrid; otherwise the plan is non-grid (Cols == 0).
+func ReadFLP(r io.Reader) (*Floorplan, error) {
+	fp := &Floorplan{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	gridLike := true
+	maxRow, maxCol := -1, -1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("%w: line %d: want 5 fields, got %d", ErrInvalid, line, len(fields))
+		}
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, line, err)
+			}
+			vals[i] = v
+		}
+		b := Block{Name: fields[0], W: vals[0], H: vals[1], X: vals[2], Y: vals[3], Row: -1, Col: -1}
+		if row, col, ok := parseGridName(b.Name); ok {
+			b.Row, b.Col = row, col
+			if row > maxRow {
+				maxRow = row
+			}
+			if col > maxCol {
+				maxCol = col
+			}
+		} else {
+			gridLike = false
+		}
+		fp.Blocks = append(fp.Blocks, b)
+		if x := b.X + b.W; x > fp.DieW {
+			fp.DieW = x
+		}
+		if y := b.Y + b.H; y > fp.DieH {
+			fp.DieH = y
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("floorplan: read: %w", err)
+	}
+	if len(fp.Blocks) == 0 {
+		return nil, fmt.Errorf("%w: no blocks in .flp input", ErrInvalid)
+	}
+	if gridLike && (maxRow+1)*(maxCol+1) == len(fp.Blocks) {
+		fp.Rows, fp.Cols = maxRow+1, maxCol+1
+		// Re-order blocks into row-major order so Index() works.
+		ordered := make([]Block, len(fp.Blocks))
+		seen := 0
+		for _, b := range fp.Blocks {
+			at := b.Row*fp.Cols + b.Col
+			if at < 0 || at >= len(ordered) || ordered[at].Name != "" {
+				fp.Rows, fp.Cols = 0, 0
+				ordered = nil
+				break
+			}
+			ordered[at] = b
+			seen++
+		}
+		if ordered != nil && seen == len(fp.Blocks) {
+			fp.Blocks = ordered
+		}
+	}
+	return fp, fp.Validate()
+}
+
+func parseGridName(name string) (row, col int, ok bool) {
+	if !strings.HasPrefix(name, "core_") {
+		return 0, 0, false
+	}
+	parts := strings.Split(name[len("core_"):], "_")
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	r, err1 := strconv.Atoi(parts[0])
+	c, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || r < 0 || c < 0 {
+		return 0, 0, false
+	}
+	return r, c, true
+}

@@ -1,0 +1,110 @@
+package hotspot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PowerTrace is a HotSpot-style .ptrace: a header of unit names followed
+// by one row of per-unit power samples per time step.
+type PowerTrace struct {
+	Units []string
+	// Steps[t][u] is the power of unit u at step t, in watts.
+	Steps [][]float64
+}
+
+// ReadPTrace parses a .ptrace stream. The first non-comment line is the
+// unit-name header; every subsequent line must carry one float per unit.
+func ReadPTrace(r io.Reader) (*PowerTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var tr PowerTrace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if tr.Units == nil {
+			tr.Units = fields
+			continue
+		}
+		if len(fields) != len(tr.Units) {
+			return nil, fmt.Errorf("%w: ptrace line %d: %d values for %d units",
+				ErrConfig, line, len(fields), len(tr.Units))
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: ptrace line %d: %v", ErrConfig, line, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("%w: ptrace line %d: negative power %g", ErrConfig, line, v)
+			}
+			row[i] = v
+		}
+		tr.Steps = append(tr.Steps, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hotspot: ptrace read: %w", err)
+	}
+	if tr.Units == nil {
+		return nil, fmt.Errorf("%w: empty ptrace", ErrConfig)
+	}
+	if len(tr.Steps) == 0 {
+		return nil, fmt.Errorf("%w: ptrace has a header but no samples", ErrConfig)
+	}
+	return &tr, nil
+}
+
+// WritePTrace emits the trace in the .ptrace text format.
+func WritePTrace(w io.Writer, tr *PowerTrace) error {
+	if len(tr.Units) == 0 || len(tr.Steps) == 0 {
+		return fmt.Errorf("%w: empty ptrace", ErrConfig)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, strings.Join(tr.Units, "\t"))
+	for i, row := range tr.Steps {
+		if len(row) != len(tr.Units) {
+			return fmt.Errorf("%w: ptrace row %d has %d values for %d units",
+				ErrConfig, i, len(row), len(tr.Units))
+		}
+		for j, v := range row {
+			if j > 0 {
+				fmt.Fprint(bw, "\t")
+			}
+			fmt.Fprintf(bw, "%.6g", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// OrderFor returns, for each of the trace's units, its index in the given
+// block-name list, erroring on unknown or missing units. It aligns a
+// ptrace's column order with a floorplan's block order.
+func (tr *PowerTrace) OrderFor(blockNames []string) ([]int, error) {
+	byName := make(map[string]int, len(blockNames))
+	for i, n := range blockNames {
+		byName[n] = i
+	}
+	if len(tr.Units) != len(blockNames) {
+		return nil, fmt.Errorf("%w: ptrace has %d units, floorplan %d blocks",
+			ErrConfig, len(tr.Units), len(blockNames))
+	}
+	order := make([]int, len(tr.Units))
+	for i, u := range tr.Units {
+		at, ok := byName[u]
+		if !ok {
+			return nil, fmt.Errorf("%w: ptrace unit %q not in floorplan", ErrConfig, u)
+		}
+		order[i] = at
+	}
+	return order, nil
+}

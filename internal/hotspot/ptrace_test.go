@@ -1,0 +1,92 @@
+package hotspot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadPTrace(t *testing.T) {
+	in := `
+# comment
+core_0_0 core_0_1 core_1_0
+1.0 2.0 3.0
+1.5 2.5 3.5
+`
+	tr, err := ReadPTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Units) != 3 || tr.Units[1] != "core_0_1" {
+		t.Errorf("units = %v", tr.Units)
+	}
+	if len(tr.Steps) != 2 || tr.Steps[1][2] != 3.5 {
+		t.Errorf("steps = %v", tr.Steps)
+	}
+}
+
+func TestReadPTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"a b c\n",                  // header only
+		"a b\n1.0\n",               // short row
+		"a b\n1.0 x\n",             // bad float
+		"a b\n1.0 -2.0\n",          // negative power
+		"# only comments\n# two\n", // no header
+	}
+	for i, in := range cases {
+		if _, err := ReadPTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should error: %q", i, in)
+		}
+	}
+}
+
+func TestWritePTraceRoundTrip(t *testing.T) {
+	tr := &PowerTrace{
+		Units: []string{"a", "b"},
+		Steps: [][]float64{{1.25, 0}, {3.5, 4.125}},
+	}
+	var buf bytes.Buffer
+	if err := WritePTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Steps {
+		for j := range tr.Steps[i] {
+			if math.Abs(got.Steps[i][j]-tr.Steps[i][j]) > 1e-9 {
+				t.Fatalf("step %d unit %d drifted", i, j)
+			}
+		}
+	}
+}
+
+func TestWritePTraceErrors(t *testing.T) {
+	if err := WritePTrace(&bytes.Buffer{}, &PowerTrace{}); err == nil {
+		t.Errorf("empty trace should error")
+	}
+	bad := &PowerTrace{Units: []string{"a", "b"}, Steps: [][]float64{{1}}}
+	if err := WritePTrace(&bytes.Buffer{}, bad); err == nil {
+		t.Errorf("ragged trace should error")
+	}
+}
+
+func TestOrderFor(t *testing.T) {
+	tr := &PowerTrace{Units: []string{"b", "a"}, Steps: [][]float64{{1, 2}}}
+	order, err := tr.OrderFor([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 1 || order[1] != 0 {
+		t.Errorf("order = %v", order)
+	}
+	if _, err := tr.OrderFor([]string{"a", "c"}); err == nil {
+		t.Errorf("unknown unit should error")
+	}
+	if _, err := tr.OrderFor([]string{"a", "b", "c"}); err == nil {
+		t.Errorf("count mismatch should error")
+	}
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot, i.e. the matrix is not (numerically) symmetric
+// positive definite. Conductance matrices from well-formed RC networks are
+// always SPD, so this error usually indicates a malformed thermal
+// configuration (e.g. a node with no path to the ambient).
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L·Lᵀ. A single
+// factorization can serve any number of Solve calls, which is the access
+// pattern of the thermal code (one conductance matrix, many power maps).
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle, full n×n storage
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrDimension, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			li := l[i*n : i*n+j]
+			lj := l[j*n : j*n+j]
+			for k := range li {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotSPD, i, s)
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// Solve returns x with A·x = b. The factorization is not modified, so Solve
+// is safe for concurrent use from multiple goroutines.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("%w: Cholesky solve n=%d rhs=%d", ErrDimension, c.n, len(b))
+	}
+	x := b.Clone()
+	c.SolveInPlace(x)
+	return x, nil
+}
+
+// SolveInPlace overwrites b with the solution of A·x = b. The caller must
+// guarantee len(b) == Size().
+func (c *Cholesky) SolveInPlace(b Vector) {
+	n, l := c.n, c.l
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l[i*n : i*n+i]
+		for k, lv := range row {
+			s -= lv * b[k]
+		}
+		b[i] = s / l[i*n+i]
+	}
+	// Backward substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * b[k]
+		}
+		b[i] = s / l[i*n+i]
+	}
+}
+
+// Inverse returns A⁻¹ computed column by column. This is O(n³) and is only
+// used to materialize the thermal-influence matrix once per configuration.
+func (c *Cholesky) Inverse() *Matrix {
+	inv := NewMatrix(c.n, c.n)
+	e := NewVector(c.n)
+	for j := 0; j < c.n; j++ {
+		e.Fill(0)
+		e[j] = 1
+		c.SolveInPlace(e)
+		for i := 0; i < c.n; i++ {
+			inv.Set(i, j, e[i])
+		}
+	}
+	return inv
+}

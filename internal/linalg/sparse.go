@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row matrix. Thermal conductance matrices are
+// extremely sparse (≈7 nonzeros per row: self, 4 lateral neighbours, up
+// and down), so iterative solves on CSR scale to chips far beyond what a
+// dense Cholesky handles comfortably.
+type CSR struct {
+	N      int
+	RowPtr []int // len N+1
+	Col    []int
+	Val    []float64
+}
+
+// NewCSRFromDense converts a square dense matrix, dropping entries with
+// |v| <= dropTol.
+func NewCSRFromDense(m *Matrix, dropTol float64) (*CSR, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: CSR of %dx%d", ErrDimension, m.Rows, m.Cols)
+	}
+	c := &CSR{N: m.Rows, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			if math.Abs(v) > dropTol {
+				c.Col = append(c.Col, j)
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[i+1] = len(c.Col)
+	}
+	return c, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// MulVec computes y = A·x into the provided slice (allocated if nil).
+func (c *CSR) MulVec(x, y Vector) (Vector, error) {
+	if len(x) != c.N {
+		return nil, fmt.Errorf("%w: CSR MulVec n=%d x=%d", ErrDimension, c.N, len(x))
+	}
+	if y == nil {
+		y = NewVector(c.N)
+	}
+	if len(y) != c.N {
+		return nil, fmt.Errorf("%w: CSR MulVec n=%d y=%d", ErrDimension, c.N, len(y))
+	}
+	for i := 0; i < c.N; i++ {
+		s := 0.0
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			s += c.Val[k] * x[c.Col[k]]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// Diagonal extracts the main diagonal.
+func (c *CSR) Diagonal() Vector {
+	d := NewVector(c.N)
+	for i := 0; i < c.N; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if c.Col[k] == i {
+				d[i] = c.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// CGOptions tunes the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIter bounds the iterations (default 4·N).
+	MaxIter int
+}
+
+// ErrNoConvergence is returned when CG exhausts its iteration budget.
+var ErrNoConvergence = errors.New("linalg: CG did not converge")
+
+// SolveCG solves A·x = b for a symmetric positive-definite CSR matrix
+// with Jacobi (diagonal) preconditioning. It returns the solution and the
+// iteration count. Conductance matrices are diagonally dominant, so CG
+// converges in a few dozen iterations regardless of size.
+func SolveCG(a *CSR, b Vector, opt CGOptions) (Vector, int, error) {
+	if len(b) != a.N {
+		return nil, 0, fmt.Errorf("%w: CG n=%d rhs=%d", ErrDimension, a.N, len(b))
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 4 * a.N
+	}
+	invDiag := a.Diagonal()
+	for i, d := range invDiag {
+		if d <= 0 {
+			return nil, 0, fmt.Errorf("%w: non-positive diagonal at %d", ErrNotSPD, i)
+		}
+		invDiag[i] = 1 / d
+	}
+	x := NewVector(a.N)
+	r := b.Clone()
+	z := NewVector(a.N)
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	p := z.Clone()
+	ap := NewVector(a.N)
+	rz := r.Dot(z)
+	bNorm := b.Norm2()
+	if bNorm == 0 {
+		return x, 0, nil
+	}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if _, err := a.MulVec(p, ap); err != nil {
+			return nil, iter, err
+		}
+		pap := p.Dot(ap)
+		if pap <= 0 {
+			return nil, iter, fmt.Errorf("%w: p·Ap = %g at iteration %d", ErrNotSPD, pap, iter)
+		}
+		alpha := rz / pap
+		x.AddScaled(alpha, p)
+		r.AddScaled(-alpha, ap)
+		if r.Norm2() <= opt.Tol*bNorm {
+			return x, iter, nil
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNext := r.Dot(z)
+		beta := rzNext / rz
+		rz = rzNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, opt.MaxIter, fmt.Errorf("%w after %d iterations (residual %.3g)",
+		ErrNoConvergence, opt.MaxIter, r.Norm2()/bNorm)
+}

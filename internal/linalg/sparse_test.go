@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian1D builds the SPD tridiagonal system of a 1-D heat chain with
+// a grounded end — the simplest conductance-matrix shape.
+func laplacian1D(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2.5)
+		if i > 0 {
+			m.Set(i, i-1, -1)
+		}
+		if i+1 < n {
+			m.Set(i, i+1, -1)
+		}
+	}
+	return m
+}
+
+func TestNewCSRFromDense(t *testing.T) {
+	m := laplacian1D(5)
+	c, err := NewCSRFromDense(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 5 {
+		t.Errorf("N = %d", c.N)
+	}
+	// Tridiagonal: 3n−2 nonzeros.
+	if c.NNZ() != 13 {
+		t.Errorf("NNZ = %d, want 13", c.NNZ())
+	}
+	if _, err := NewCSRFromDense(NewMatrix(2, 3), 0); err == nil {
+		t.Errorf("non-square should error")
+	}
+	// Drop tolerance prunes small entries.
+	m.Set(0, 4, 1e-15)
+	pruned, err := NewCSRFromDense(m, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NNZ() != 13 {
+		t.Errorf("tiny entry not dropped: NNZ = %d", pruned.NNZ())
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	m := laplacian1D(6)
+	c, err := NewCSRFromDense(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Vector{1, 2, 3, 4, 5, 6}
+	dense, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := c.MulVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense {
+		if math.Abs(dense[i]-sparse[i]) > 1e-12 {
+			t.Fatalf("MulVec differs at %d", i)
+		}
+	}
+	if _, err := c.MulVec(Vector{1}, nil); err == nil {
+		t.Errorf("bad x size should error")
+	}
+	if _, err := c.MulVec(x, Vector{1}); err == nil {
+		t.Errorf("bad y size should error")
+	}
+}
+
+func TestSolveCGMatchesCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, 20, 120} {
+		dense := laplacian1D(n)
+		csr, err := NewCSRFromDense(dense, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 5
+		}
+		ch, err := NewCholesky(dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ch.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, iters, err := SolveCG(csr, b, CGOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if iters <= 0 || iters > 4*n {
+			t.Errorf("n=%d: iterations = %d", n, iters)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: CG differs from Cholesky at %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveCGEdgeCases(t *testing.T) {
+	csr, err := NewCSRFromDense(laplacian1D(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero RHS solves instantly.
+	x, iters, err := SolveCG(csr, NewVector(4), CGOptions{})
+	if err != nil || iters != 0 || x.NormInf() != 0 {
+		t.Errorf("zero rhs: %v %d %v", x, iters, err)
+	}
+	if _, _, err := SolveCG(csr, NewVector(3), CGOptions{}); err == nil {
+		t.Errorf("rhs mismatch should error")
+	}
+	// Iteration starvation reports ErrNoConvergence.
+	if _, _, err := SolveCG(csr, Vector{1, 2, 3, 4}, CGOptions{MaxIter: 1, Tol: 1e-15}); err == nil {
+		t.Errorf("starved CG should error")
+	}
+	// Non-positive diagonal rejected.
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, -1)
+	bad.Set(1, 1, 1)
+	badCSR, err := NewCSRFromDense(bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveCG(badCSR, Vector{1, 1}, CGOptions{}); err == nil {
+		t.Errorf("indefinite matrix should error")
+	}
+}
+
+// Property: CG solves random SPD (diagonally dominant) systems to the
+// requested tolerance.
+func TestSolveCGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if rng.Float64() < 0.2 {
+					v := -rng.Float64()
+					m.Set(i, j, v)
+					rowSum += -v
+				}
+			}
+			m.Set(i, i, rowSum+0.5+rng.Float64())
+		}
+		// Symmetrize.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := (m.At(i, j) + m.At(j, i)) / 2
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		csr, err := NewCSRFromDense(m, 0)
+		if err != nil {
+			return false
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, _, err := SolveCG(csr, b, CGOptions{Tol: 1e-9})
+		if err != nil {
+			return false
+		}
+		ax, err := csr.MulVec(x, nil)
+		if err != nil {
+			return false
+		}
+		return ax.AddScaled(-1, b).Norm2() <= 1e-7*(1+b.Norm2())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package mcpat provides the McPAT-flavoured within-core detail the
+// paper's tool flow (Figure 1) draws on: an area/power breakdown of the
+// out-of-order Alpha 21264-class core into its functional components, a
+// floorplan expander that subdivides each core block into component
+// blocks, and a power splitter that turns a per-core Equation (1) power
+// into per-component powers.
+//
+// The chip-level experiments treat a core as one thermal block; this
+// package exposes the next level of fidelity, where the integer/FP
+// execution clusters concentrate most of the dynamic power in a fraction
+// of the core area — the within-core hotspot that block-level models
+// average away.
+package mcpat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"darksim/internal/floorplan"
+)
+
+// Component is one functional block of the core with its share of the
+// core's area, dynamic power and leakage power.
+type Component struct {
+	Name     string
+	AreaFrac float64
+	DynFrac  float64
+	LeakFrac float64
+}
+
+// DefaultBreakdown returns an Alpha 21264-class out-of-order core
+// breakdown in the spirit of McPAT's component reports: execution
+// clusters are small and power-dense, caches are large and relatively
+// cool. Fractions each sum to 1.
+func DefaultBreakdown() []Component {
+	return []Component{
+		{Name: "ifetch", AreaFrac: 0.10, DynFrac: 0.12, LeakFrac: 0.10},
+		{Name: "rename", AreaFrac: 0.06, DynFrac: 0.10, LeakFrac: 0.06},
+		{Name: "intexec", AreaFrac: 0.12, DynFrac: 0.26, LeakFrac: 0.14},
+		{Name: "fpexec", AreaFrac: 0.12, DynFrac: 0.18, LeakFrac: 0.14},
+		{Name: "lsu", AreaFrac: 0.10, DynFrac: 0.12, LeakFrac: 0.10},
+		{Name: "l1i", AreaFrac: 0.14, DynFrac: 0.07, LeakFrac: 0.16},
+		{Name: "l1d", AreaFrac: 0.14, DynFrac: 0.09, LeakFrac: 0.16},
+		{Name: "l2slice", AreaFrac: 0.22, DynFrac: 0.06, LeakFrac: 0.14},
+	}
+}
+
+// ErrBreakdown is returned for inconsistent component sets.
+var ErrBreakdown = errors.New("mcpat: invalid breakdown")
+
+// Validate checks that all three fraction columns sum to 1 (±1e-6) and
+// every fraction is positive.
+func Validate(comps []Component) error {
+	if len(comps) == 0 {
+		return fmt.Errorf("%w: empty", ErrBreakdown)
+	}
+	var a, d, l float64
+	seen := map[string]bool{}
+	for _, c := range comps {
+		if c.AreaFrac <= 0 || c.DynFrac <= 0 || c.LeakFrac <= 0 {
+			return fmt.Errorf("%w: component %q has non-positive fractions", ErrBreakdown, c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w: duplicate component %q", ErrBreakdown, c.Name)
+		}
+		seen[c.Name] = true
+		a += c.AreaFrac
+		d += c.DynFrac
+		l += c.LeakFrac
+	}
+	for _, s := range []struct {
+		name string
+		sum  float64
+	}{{"area", a}, {"dynamic", d}, {"leakage", l}} {
+		if math.Abs(s.sum-1) > 1e-6 {
+			return fmt.Errorf("%w: %s fractions sum to %.6f", ErrBreakdown, s.name, s.sum)
+		}
+	}
+	return nil
+}
+
+// SplitPower divides a core's power into per-component powers given the
+// dynamic and leakage shares of the total (dynW + leakW; any frequency-
+// independent power is folded into dynW by the caller or spread with it).
+func SplitPower(comps []Component, dynW, leakW float64) (map[string]float64, error) {
+	if err := Validate(comps); err != nil {
+		return nil, err
+	}
+	if dynW < 0 || leakW < 0 {
+		return nil, fmt.Errorf("%w: negative power split %g/%g", ErrBreakdown, dynW, leakW)
+	}
+	out := make(map[string]float64, len(comps))
+	for _, c := range comps {
+		out[c.Name] = dynW*c.DynFrac + leakW*c.LeakFrac
+	}
+	return out, nil
+}
+
+// PowerDensityRatio returns the hottest component's power density
+// relative to the core average (density = power fraction / area
+// fraction) for the given dynamic/leakage split. For the default
+// breakdown at a dynamic-dominated operating point this is ≈2×: the
+// integer execution cluster burns a quarter of the power in an eighth of
+// the area.
+func PowerDensityRatio(comps []Component, dynW, leakW float64) (float64, error) {
+	split, err := SplitPower(comps, dynW, leakW)
+	if err != nil {
+		return 0, err
+	}
+	total := dynW + leakW
+	if total <= 0 {
+		return 1, nil
+	}
+	best := 0.0
+	for _, c := range comps {
+		density := (split[c.Name] / total) / c.AreaFrac
+		if density > best {
+			best = density
+		}
+	}
+	return best, nil
+}
+
+// ExpandFloorplan subdivides every block of a core-level floorplan into
+// component blocks named "<core>.<component>", preserving total area.
+// Components are laid out in two horizontal rows inside each core (a
+// slicing layout): the first half of the list fills the bottom row, the
+// rest the top row, each strip's width proportional to its area share.
+// The result is a valid (non-grid) floorplan suitable for a fine-grid
+// thermal model.
+func ExpandFloorplan(fp *floorplan.Floorplan, comps []Component) (*floorplan.Floorplan, error) {
+	if err := Validate(comps); err != nil {
+		return nil, err
+	}
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	half := (len(comps) + 1) / 2
+	bottom, top := comps[:half], comps[half:]
+	rowFrac := func(row []Component) float64 {
+		var s float64
+		for _, c := range row {
+			s += c.AreaFrac
+		}
+		return s
+	}
+	bottomFrac := rowFrac(bottom)
+
+	out := &floorplan.Floorplan{DieW: fp.DieW, DieH: fp.DieH}
+	for _, b := range fp.Blocks {
+		bh := b.H * bottomFrac
+		layoutRow := func(row []Component, y, h float64) {
+			frac := rowFrac(row)
+			x := b.X
+			for i, c := range row {
+				w := b.W * (c.AreaFrac / frac)
+				// The last strip absorbs rounding so the row tiles the
+				// core exactly.
+				if i == len(row)-1 {
+					w = b.X + b.W - x
+				}
+				out.Blocks = append(out.Blocks, floorplan.Block{
+					Name: b.Name + "." + c.Name,
+					X:    x, Y: y, W: w, H: h,
+					Row: -1, Col: -1,
+				})
+				x += w
+			}
+		}
+		layoutRow(bottom, b.Y, bh)
+		if len(top) > 0 {
+			layoutRow(top, b.Y+bh, b.H-bh)
+		}
+	}
+	return out, out.Validate()
+}
+
+// ExpandPower maps a per-core power vector onto the expanded floorplan's
+// block order: core i's power is split across its components using the
+// given dynamic-power fraction of the total (the rest is treated as
+// leakage-like).
+func ExpandPower(corePower []float64, comps []Component, dynShare float64) ([]float64, error) {
+	if err := Validate(comps); err != nil {
+		return nil, err
+	}
+	if dynShare < 0 || dynShare > 1 {
+		return nil, fmt.Errorf("%w: dynamic share %g", ErrBreakdown, dynShare)
+	}
+	out := make([]float64, 0, len(corePower)*len(comps))
+	for _, p := range corePower {
+		if p < 0 {
+			return nil, fmt.Errorf("%w: negative core power %g", ErrBreakdown, p)
+		}
+		split, err := SplitPower(comps, p*dynShare, p*(1-dynShare))
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range comps {
+			out = append(out, split[c.Name])
+		}
+	}
+	return out, nil
+}

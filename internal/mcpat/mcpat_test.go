@@ -1,0 +1,197 @@
+package mcpat
+
+import (
+	"math"
+	"testing"
+
+	"darksim/internal/floorplan"
+	"darksim/internal/thermal"
+)
+
+func TestDefaultBreakdownValid(t *testing.T) {
+	if err := Validate(DefaultBreakdown()); err != nil {
+		t.Fatalf("default breakdown invalid: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Errorf("empty breakdown should error")
+	}
+	bad := []Component{{Name: "a", AreaFrac: 1, DynFrac: 1, LeakFrac: 0}}
+	if err := Validate(bad); err == nil {
+		t.Errorf("zero fraction should error")
+	}
+	short := []Component{{Name: "a", AreaFrac: 0.5, DynFrac: 0.5, LeakFrac: 0.5}}
+	if err := Validate(short); err == nil {
+		t.Errorf("fractions not summing to 1 should error")
+	}
+	dup := []Component{
+		{Name: "a", AreaFrac: 0.5, DynFrac: 0.5, LeakFrac: 0.5},
+		{Name: "a", AreaFrac: 0.5, DynFrac: 0.5, LeakFrac: 0.5},
+	}
+	if err := Validate(dup); err == nil {
+		t.Errorf("duplicate names should error")
+	}
+}
+
+func TestSplitPowerConserves(t *testing.T) {
+	comps := DefaultBreakdown()
+	split, err := SplitPower(comps, 3.0, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range split {
+		total += w
+	}
+	if math.Abs(total-3.7) > 1e-9 {
+		t.Errorf("split total = %v, want 3.7", total)
+	}
+	// The integer execution cluster dominates dynamic power.
+	if split["intexec"] <= split["l2slice"] {
+		t.Errorf("intexec should out-burn the L2 slice")
+	}
+	if _, err := SplitPower(comps, -1, 0); err == nil {
+		t.Errorf("negative power should error")
+	}
+}
+
+func TestPowerDensityRatio(t *testing.T) {
+	comps := DefaultBreakdown()
+	// Dynamic-dominated point: execution clusters are ≈2× the average.
+	ratio, err := PowerDensityRatio(comps, 3.0, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("density ratio = %.2f, want ≈2", ratio)
+	}
+	// Pure leakage flattens the profile.
+	leakOnly, err := PowerDensityRatio(comps, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leakOnly >= ratio {
+		t.Errorf("leakage-only ratio %.2f should be below dynamic ratio %.2f", leakOnly, ratio)
+	}
+	// Zero power degenerates to 1.
+	if r, err := PowerDensityRatio(comps, 0, 0); err != nil || r != 1 {
+		t.Errorf("zero power ratio = %v, %v", r, err)
+	}
+}
+
+func TestExpandFloorplan(t *testing.T) {
+	fp, err := floorplan.NewGrid(3, 3, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := DefaultBreakdown()
+	sub, err := ExpandFloorplan(fp, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumBlocks() != 9*len(comps) {
+		t.Fatalf("blocks = %d", sub.NumBlocks())
+	}
+	// Area preserved.
+	if math.Abs(sub.TotalAreaMM2()-fp.TotalAreaMM2()) > 1e-6 {
+		t.Errorf("area drifted: %v vs %v", sub.TotalAreaMM2(), fp.TotalAreaMM2())
+	}
+	// Component areas match their fractions.
+	coreArea := fp.Blocks[0].Area()
+	for _, b := range sub.Blocks[:len(comps)] {
+		name := b.Name[len("core_0_0."):]
+		for _, c := range comps {
+			if c.Name == name {
+				if math.Abs(b.Area()/coreArea-c.AreaFrac) > 0.01 {
+					t.Errorf("%s area fraction %.3f, want %.3f", name, b.Area()/coreArea, c.AreaFrac)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandPowerOrderMatchesFloorplan(t *testing.T) {
+	fp, err := floorplan.NewGrid(2, 1, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := DefaultBreakdown()
+	sub, err := ExpandFloorplan(fp, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := ExpandPower([]float64{3.7, 0}, comps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(power) != sub.NumBlocks() {
+		t.Fatalf("power len %d, blocks %d", len(power), sub.NumBlocks())
+	}
+	// The dark core's components stay at zero; the active core's sum to
+	// its total.
+	var active, dark float64
+	for i, b := range sub.Blocks {
+		if b.Name[:8] == "core_0_0" {
+			active += power[i]
+		} else {
+			dark += power[i]
+		}
+	}
+	if math.Abs(active-3.7) > 1e-9 || dark != 0 {
+		t.Errorf("active %v dark %v", active, dark)
+	}
+	if _, err := ExpandPower([]float64{-1}, comps, 0.8); err == nil {
+		t.Errorf("negative power should error")
+	}
+	if _, err := ExpandPower([]float64{1}, comps, 1.5); err == nil {
+		t.Errorf("bad dynamic share should error")
+	}
+}
+
+func TestWithinCoreHotspot(t *testing.T) {
+	// The fidelity claim: resolving components raises the observed peak
+	// versus the block-level average, because the execution clusters
+	// concentrate power. 3x3 cores, die grid fine enough to resolve
+	// within-core structure.
+	fp, err := floorplan.NewGrid(3, 3, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := DefaultBreakdown()
+	sub, err := ExpandFloorplan(fp, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corePower := make([]float64, 9)
+	for i := range corePower {
+		corePower[i] = 3.7
+	}
+	blockModel, err := thermal.NewModel(fp, thermal.DefaultConfig(fp.DieW, fp.DieH, 9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockPeak, _, err := blockModel.PeakSteadyState(corePower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subModel, err := thermal.NewModel(sub, thermal.DefaultConfig(sub.DieW, sub.DieH, 15, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subPower, err := ExpandPower(corePower, comps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subPeak, _, err := subModel.PeakSteadyState(subPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subPeak <= blockPeak {
+		t.Errorf("component-resolved peak %.2f should exceed block-level %.2f", subPeak, blockPeak)
+	}
+	if subPeak > blockPeak+15 {
+		t.Errorf("within-core hotspot %.2f implausibly far above block level %.2f", subPeak, blockPeak)
+	}
+}

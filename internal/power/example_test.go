@@ -1,0 +1,51 @@
+package power_test
+
+import (
+	"fmt"
+
+	"darksim/internal/power"
+)
+
+// ExampleCoreModel_Power evaluates Equation (1) at an operating point:
+// dynamic switching plus temperature-dependent leakage plus the
+// frequency-independent floor.
+func ExampleCoreModel_Power() {
+	m := power.CoreModel{
+		CeffNF: 1.65, // swaptions' 22 nm effective capacitance
+		PindW:  0.3,
+		Leak:   power.DefaultLeakage22(),
+	}
+	const (
+		alpha = 0.95
+		vdd   = 1.0
+		fGHz  = 2.6
+		tempC = 80.0
+	)
+	fmt.Printf("dynamic: %.2f W\n", m.Dynamic(alpha, vdd, fGHz))
+	fmt.Printf("leakage: %.2f W\n", m.Leak.Power(vdd, tempC))
+	fmt.Printf("total:   %.2f W\n", m.Power(alpha, vdd, fGHz, tempC))
+	// Output:
+	// dynamic: 4.08 W
+	// leakage: 0.90 W
+	// total:   5.28 W
+}
+
+// ExampleFit recovers the model constants from measured samples, the
+// Figure 3 workflow.
+func ExampleFit() {
+	truth := power.CoreModel{CeffNF: 2.0, PindW: 0.5, Leak: power.DefaultLeakage22()}
+	var samples []power.Sample
+	for f := 1.0; f <= 4.0; f += 0.5 {
+		vdd := 0.5 + 0.22*f
+		samples = append(samples, power.Sample{
+			FGHz: f, Vdd: vdd, TempC: 60,
+			PowerW: truth.Power(0.9, vdd, f, 60),
+		})
+	}
+	fit, err := power.Fit(samples, truth.Leak, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Ceff = %.2f nF, Pind = %.2f W\n", fit.CeffNF, fit.PindW)
+	// Output: Ceff = 2.00 nF, Pind = 0.50 W
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+
+	"darksim/internal/core"
+	"darksim/internal/mapping"
+	"darksim/internal/metrics"
+	"darksim/internal/vf"
+)
+
+// GroupController drives one DVFS level per placement — per-application
+// DVFS islands, the control model behind DsRem-style management where
+// every application gets its own v/f level (§4). Contrast with
+// Controller, which drives a single chip-wide level (§6's Turbo-style
+// loop).
+type GroupController interface {
+	// NextLevels returns the ladder level for every placement, given the
+	// chip peak and each placement's own hottest-core temperature. The
+	// returned slice is owned by the controller and must have one entry
+	// per placement.
+	NextLevels(chipPeakC float64, placementPeakC []float64) []int
+	// CurrentLevels returns the present levels without advancing state.
+	CurrentLevels() []int
+}
+
+// RunGrouped simulates a static plan under per-placement control. The
+// engine mirrors Run (implicit-Euler thermal stepping, DTM emergency
+// clamp, identical accounting); the Result's LevelGHz series records the
+// maximum level across placements.
+func RunGrouped(p *core.Platform, plan *mapping.Plan, ctrl GroupController, ladder *vf.Ladder, opt Options) (Result, error) {
+	if p == nil || plan == nil || ctrl == nil || ladder == nil {
+		return Result{}, fmt.Errorf("%w: nil argument", ErrRun)
+	}
+	if opt.Duration <= 0 {
+		return Result{}, fmt.Errorf("%w: duration %g s", ErrRun, opt.Duration)
+	}
+	if opt.ControlPeriod == 0 {
+		opt.ControlPeriod = 1e-3
+	}
+	if opt.ControlPeriod <= 0 || opt.ControlPeriod > opt.Duration {
+		return Result{}, fmt.Errorf("%w: control period %g s", ErrRun, opt.ControlPeriod)
+	}
+	if opt.RecordPoints == 0 {
+		opt.RecordPoints = 1000
+	}
+	if opt.EmergencyC == 0 {
+		opt.EmergencyC = p.TDTM + 5
+	}
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+	if plan.NumCores != p.NumCores() {
+		return Result{}, fmt.Errorf("%w: plan has %d cores, platform %d", ErrRun, plan.NumCores, p.NumCores())
+	}
+	if got := len(ctrl.CurrentLevels()); got != len(plan.Placements) {
+		return Result{}, fmt.Errorf("%w: controller drives %d placements, plan has %d",
+			ErrRun, got, len(plan.Placements))
+	}
+
+	steps := int(opt.Duration/opt.ControlPeriod + 0.5)
+	recordEvery := steps / opt.RecordPoints
+	if recordEvery < 1 {
+		recordEvery = 1
+	}
+	tr, err := p.Thermal.NewTransient(opt.ControlPeriod)
+	if err != nil {
+		return Result{}, err
+	}
+
+	work := &mapping.Plan{NumCores: plan.NumCores}
+	work.Placements = append([]mapping.Placement(nil), plan.Placements...)
+
+	setLevels := func(levels []int) float64 {
+		maxF := 0.0
+		for i := range work.Placements {
+			f := ladder.Points[ladder.Clamp(levels[i])].FGHz
+			work.Placements[i].FGHz = f
+			if f > maxF {
+				maxF = f
+			}
+		}
+		return maxF
+	}
+
+	peak, _ := tr.PeakBlockTemp()
+	setLevels(ctrl.CurrentLevels())
+	if opt.StartSteady {
+		_, power, err := p.SteadyTemps(work, opt.Mode)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := tr.SetSteadyState(power); err != nil {
+			return Result{}, err
+		}
+		peak, _ = tr.PeakBlockTemp()
+	}
+
+	var res Result
+	var energy metrics.EnergyMeter
+	res.MaxTempC = peak
+
+	temps := tr.BlockTemps()
+	power := make([]float64, plan.NumCores)
+	placementPeaks := make([]float64, len(work.Placements))
+	for step := 0; step < steps; step++ {
+		now := float64(step) * opt.ControlPeriod
+
+		for i, pl := range work.Placements {
+			pp := 0.0
+			for _, c := range pl.Cores {
+				if temps[c] > pp {
+					pp = temps[c]
+				}
+			}
+			placementPeaks[i] = pp
+		}
+		levels := ctrl.NextLevels(peak, placementPeaks)
+		if len(levels) != len(work.Placements) {
+			return Result{}, fmt.Errorf("%w: controller returned %d levels for %d placements",
+				ErrRun, len(levels), len(work.Placements))
+		}
+		if peak > opt.EmergencyC {
+			for i := range levels {
+				levels[i] = 0
+			}
+			res.DTMEvents++
+		}
+		fMax := setLevels(levels)
+
+		for i := range power {
+			power[i] = 0
+		}
+		var totalP, totalG float64
+		for _, pl := range work.Placements {
+			totalG += pl.GIPS()
+			for _, c := range pl.Cores {
+				cp, err := p.PlacementCorePowerAt(pl, temps[c], opt.Mode)
+				if err != nil {
+					return Result{}, err
+				}
+				power[c] = cp
+				totalP += cp
+			}
+		}
+
+		temps, err = tr.Step(power)
+		if err != nil {
+			return Result{}, err
+		}
+		peak = 0
+		for _, t := range temps {
+			if t > peak {
+				peak = t
+			}
+		}
+
+		if opt.Observer != nil {
+			if err := opt.Observer(now, temps, power); err != nil {
+				return Result{}, fmt.Errorf("sim: observer: %w", err)
+			}
+		}
+		if err := energy.Add(opt.ControlPeriod, totalP); err != nil {
+			return Result{}, err
+		}
+		if totalP > res.PeakPowerW {
+			res.PeakPowerW = totalP
+		}
+		if peak > res.MaxTempC {
+			res.MaxTempC = peak
+		}
+		res.AvgGIPS += totalG
+		if step%recordEvery == 0 || step == steps-1 {
+			res.Time.Append(now, now)
+			res.GIPS.Append(now, totalG)
+			res.PeakTemp.Append(now, peak)
+			res.PowerW.Append(now, totalP)
+			res.LevelGHz.Append(now, fMax)
+		}
+	}
+	res.AvgGIPS /= float64(steps)
+	res.EnergyJ = energy.TotalJ()
+	return res, nil
+}

@@ -1,0 +1,284 @@
+// Package sim is the transient co-simulation engine behind the paper's §6
+// boosting experiments (Figures 11–13): it advances the thermal RC model
+// in lockstep with the Equation (1) power model and a DVFS controller that
+// picks one chip-wide frequency level per control period — exactly the
+// closed-loop Turbo-Boost-style control the paper describes (1 ms period,
+// 200 MHz steps, 80 °C threshold).
+//
+// Each control period the engine:
+//  1. asks the controller for the next ladder level given the current
+//     peak core temperature,
+//  2. re-evaluates every placement's per-core power at that level and at
+//     each core's current temperature (leakage is temperature-dependent),
+//  3. steps the implicit-Euler transient thermal model,
+//  4. records performance (GIPS), power and peak temperature.
+//
+// A DTM guard clamps the system to the lowest level while the temperature
+// is above an emergency threshold, mirroring the hardware thermal
+// protection the paper's TDTM is defined against.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"darksim/internal/core"
+	"darksim/internal/mapping"
+	"darksim/internal/metrics"
+	"darksim/internal/vf"
+)
+
+// Controller chooses the next ladder level each control period.
+type Controller interface {
+	// Next returns the ladder level index for the coming period, given
+	// the current peak core temperature. Implementations own their
+	// state (current level, hysteresis, …).
+	Next(peakTempC float64) int
+	// Current returns the controller's present level without advancing
+	// its state; Run uses it to pick the StartSteady operating point.
+	Current() int
+}
+
+// Options configures a transient run.
+type Options struct {
+	// Duration of the simulated run in seconds. Required.
+	Duration float64
+	// ControlPeriod in seconds (default 1 ms, the paper's §6 setting).
+	ControlPeriod float64
+	// Mode is the power-evaluation mode (default core.BusyWait).
+	Mode core.PowerMode
+	// RecordPoints bounds the stored series length (default 1000).
+	RecordPoints int
+	// EmergencyC is the DTM hard-throttle threshold; while the peak
+	// temperature exceeds it the level is forced to 0. Default
+	// TDTM + 5 °C.
+	EmergencyC float64
+	// StartSteady initializes the chip at the steady state of the
+	// controller's first level rather than a cold (ambient) chip, so
+	// short runs measure the sustained regime the paper plots.
+	StartSteady bool
+	// Observer, when set, is invoked after every control period with the
+	// simulated time and the per-core temperature and power vectors (not
+	// copies — observers must not retain or mutate them). Aging
+	// integration and custom trace capture hook in here; a non-nil error
+	// aborts the run.
+	Observer func(now float64, tempsC, powerW []float64) error
+}
+
+// Result is the outcome of a transient run.
+type Result struct {
+	Time     metrics.Series // seconds
+	GIPS     metrics.Series // total chip throughput over time
+	PeakTemp metrics.Series // °C over time
+	PowerW   metrics.Series // total chip power over time
+	LevelGHz metrics.Series // controller level over time
+
+	AvgGIPS    float64
+	EnergyJ    float64
+	PeakPowerW float64
+	MaxTempC   float64
+	DTMEvents  int // control periods spent in emergency throttle
+}
+
+// ErrRun is returned for invalid run configurations.
+var ErrRun = errors.New("sim: invalid run")
+
+// PlanProvider supplies the workload plan as a function of time, enabling
+// spatio-temporal mapping: the same instances can migrate across the chip
+// mid-run (dark-silicon rotation) while the controller keeps driving the
+// shared frequency level.
+type PlanProvider interface {
+	// PlanAt returns the plan active at simulated time t (seconds). The
+	// returned plan may be shared across calls; the engine copies the
+	// placements it mutates.
+	PlanAt(t float64) *mapping.Plan
+}
+
+// StaticPlan adapts a fixed plan to PlanProvider.
+type StaticPlan struct{ Plan *mapping.Plan }
+
+// PlanAt implements PlanProvider.
+func (s StaticPlan) PlanAt(float64) *mapping.Plan { return s.Plan }
+
+// Run simulates the plan under the controller on the platform's ladder.
+// The plan's placements define which cores run which application with how
+// many threads; the controller overrides every placement's frequency with
+// a single chip-wide level from `ladder` (the paper's §6 experiments drive
+// all active cores together).
+func Run(p *core.Platform, plan *mapping.Plan, ctrl Controller, ladder *vf.Ladder, opt Options) (Result, error) {
+	if plan == nil {
+		return Result{}, fmt.Errorf("%w: nil plan", ErrRun)
+	}
+	return RunDynamic(p, StaticPlan{Plan: plan}, ctrl, ladder, opt)
+}
+
+// RunDynamic simulates a time-varying workload. Plans returned by the
+// provider must all be for the platform's core count; each distinct plan
+// is validated on first sight.
+func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder *vf.Ladder, opt Options) (Result, error) {
+	if p == nil || provider == nil || ctrl == nil || ladder == nil {
+		return Result{}, fmt.Errorf("%w: nil argument", ErrRun)
+	}
+	plan := provider.PlanAt(0)
+	if plan == nil {
+		return Result{}, fmt.Errorf("%w: provider returned nil plan", ErrRun)
+	}
+	if opt.Duration <= 0 {
+		return Result{}, fmt.Errorf("%w: duration %g s", ErrRun, opt.Duration)
+	}
+	if opt.ControlPeriod == 0 {
+		opt.ControlPeriod = 1e-3
+	}
+	if opt.ControlPeriod <= 0 || opt.ControlPeriod > opt.Duration {
+		return Result{}, fmt.Errorf("%w: control period %g s", ErrRun, opt.ControlPeriod)
+	}
+	if opt.RecordPoints == 0 {
+		opt.RecordPoints = 1000
+	}
+	if opt.EmergencyC == 0 {
+		opt.EmergencyC = p.TDTM + 5
+	}
+	steps := int(opt.Duration/opt.ControlPeriod + 0.5)
+	recordEvery := steps / opt.RecordPoints
+	if recordEvery < 1 {
+		recordEvery = 1
+	}
+
+	tr, err := p.Thermal.NewTransient(opt.ControlPeriod)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Working copy of the current plan so the controller can retune
+	// frequencies without mutating the provider's plans. Each distinct
+	// plan pointer is validated once.
+	validated := map[*mapping.Plan]bool{}
+	work := &mapping.Plan{NumCores: p.NumCores()}
+	var current *mapping.Plan
+	adopt := func(next *mapping.Plan) error {
+		if next == current {
+			return nil
+		}
+		if next == nil {
+			return fmt.Errorf("%w: provider returned nil plan", ErrRun)
+		}
+		if !validated[next] {
+			if err := next.Validate(); err != nil {
+				return err
+			}
+			if next.NumCores != p.NumCores() {
+				return fmt.Errorf("%w: plan has %d cores, platform %d", ErrRun, next.NumCores, p.NumCores())
+			}
+			validated[next] = true
+		}
+		current = next
+		work.Placements = append(work.Placements[:0], next.Placements...)
+		return nil
+	}
+	if err := adopt(plan); err != nil {
+		return Result{}, err
+	}
+
+	setLevel := func(level int) float64 {
+		f := ladder.Points[ladder.Clamp(level)].FGHz
+		for i := range work.Placements {
+			work.Placements[i].FGHz = f
+		}
+		return f
+	}
+
+	// Initial state: the controller's current level, without advancing
+	// its state (the first Next happens inside the loop).
+	peak, _ := tr.PeakBlockTemp()
+	level := ladder.Clamp(ctrl.Current())
+	setLevel(level)
+	if opt.StartSteady {
+		_, power, err := p.SteadyTemps(work, opt.Mode)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := tr.SetSteadyState(power); err != nil {
+			return Result{}, err
+		}
+		peak, _ = tr.PeakBlockTemp()
+	}
+
+	var res Result
+	var energy metrics.EnergyMeter
+	res.MaxTempC = peak
+
+	temps := tr.BlockTemps()
+	power := make([]float64, p.NumCores())
+	for step := 0; step < steps; step++ {
+		now := float64(step) * opt.ControlPeriod
+
+		// Workload migration (spatio-temporal mapping).
+		if err := adopt(provider.PlanAt(now)); err != nil {
+			return Result{}, err
+		}
+
+		// Controller decision (with DTM emergency override).
+		level = ladder.Clamp(ctrl.Next(peak))
+		if peak > opt.EmergencyC {
+			level = 0
+			res.DTMEvents++
+		}
+		fGHz := setLevel(level)
+
+		// Per-core power at current temperatures.
+		for i := range power {
+			power[i] = 0
+		}
+		var totalP, totalG float64
+		for _, pl := range work.Placements {
+			totalG += pl.GIPS()
+			for _, c := range pl.Cores {
+				cp, err := p.PlacementCorePowerAt(pl, temps[c], opt.Mode)
+				if err != nil {
+					return Result{}, err
+				}
+				power[c] = cp
+				totalP += cp
+			}
+		}
+
+		// Advance the thermal state.
+		temps, err = tr.Step(power)
+		if err != nil {
+			return Result{}, err
+		}
+		peak = 0
+		for _, t := range temps {
+			if t > peak {
+				peak = t
+			}
+		}
+
+		// Accounting.
+		if opt.Observer != nil {
+			if err := opt.Observer(now, temps, power); err != nil {
+				return Result{}, fmt.Errorf("sim: observer: %w", err)
+			}
+		}
+		if err := energy.Add(opt.ControlPeriod, totalP); err != nil {
+			return Result{}, err
+		}
+		if totalP > res.PeakPowerW {
+			res.PeakPowerW = totalP
+		}
+		if peak > res.MaxTempC {
+			res.MaxTempC = peak
+		}
+		res.AvgGIPS += totalG
+		if step%recordEvery == 0 || step == steps-1 {
+			res.Time.Append(now, now)
+			res.GIPS.Append(now, totalG)
+			res.PeakTemp.Append(now, peak)
+			res.PowerW.Append(now, totalP)
+			res.LevelGHz.Append(now, fGHz)
+		}
+	}
+	res.AvgGIPS /= float64(steps)
+	res.EnergyJ = energy.TotalJ()
+	return res, nil
+}

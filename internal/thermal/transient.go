@@ -1,0 +1,90 @@
+package thermal
+
+import (
+	"fmt"
+
+	"darksim/internal/linalg"
+)
+
+// Transient advances the RC network in time with the unconditionally
+// stable implicit (backward) Euler scheme:
+//
+//	C·(T⁺ − T)/dt = −G·T⁺ + P + P_amb
+//	(C/dt + G)·T⁺ = (C/dt)·T + P + P_amb
+//
+// The left-hand matrix depends only on dt, so one Cholesky factorization
+// serves the whole run; each step is a single triangular solve. This is
+// what makes the paper's §6 boosting experiments (100 s at 1 ms control
+// period, i.e. 10⁵ steps) tractable.
+type Transient struct {
+	m     *Model
+	dt    float64
+	chol  *linalg.Cholesky
+	capDt linalg.Vector // C/dt per node
+	t     linalg.Vector // current node temperatures
+}
+
+// NewTransient creates a transient integrator with step size dt (seconds),
+// initialized to the ambient-only steady state (a cold chip).
+func (m *Model) NewTransient(dt float64) (*Transient, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("%w: transient step %g s", ErrConfig, dt)
+	}
+	n := len(m.cells)
+	a := m.g.Clone()
+	capDt := linalg.NewVector(n)
+	for i, c := range m.cells {
+		capDt[i] = c.capJK / dt
+		a.Add(i, i, capDt[i])
+	}
+	ch, err := linalg.NewCholesky(a)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: transient matrix not SPD: %w", err)
+	}
+	tr := &Transient{m: m, dt: dt, chol: ch, capDt: capDt}
+	// Start from the zero-power steady state.
+	rhs := m.ambRHS.Clone()
+	m.chol.SolveInPlace(rhs)
+	tr.t = rhs
+	return tr, nil
+}
+
+// Dt returns the integrator step size in seconds.
+func (tr *Transient) Dt() float64 { return tr.dt }
+
+// SetUniform resets every node to the given temperature.
+func (tr *Transient) SetUniform(tempC float64) { tr.t.Fill(tempC) }
+
+// SetSteadyState resets the state to the steady-state solution for the
+// given per-block power map.
+func (tr *Transient) SetSteadyState(blockPower []float64) error {
+	nodeT, err := tr.m.SteadyStateNodes(blockPower)
+	if err != nil {
+		return err
+	}
+	tr.t = nodeT
+	return nil
+}
+
+// Step advances the model by one dt under the given per-block power map
+// and returns the resulting per-block temperatures.
+func (tr *Transient) Step(blockPower []float64) ([]float64, error) {
+	p, err := tr.m.nodePower(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p {
+		p[i] += tr.capDt[i]*tr.t[i] + tr.m.ambRHS[i]
+	}
+	tr.chol.SolveInPlace(p)
+	tr.t = p
+	return tr.m.blockTemps(tr.t), nil
+}
+
+// BlockTemps returns the current per-block temperatures.
+func (tr *Transient) BlockTemps() []float64 { return tr.m.blockTemps(tr.t) }
+
+// PeakBlockTemp returns the hottest block temperature and its index.
+func (tr *Transient) PeakBlockTemp() (float64, int) {
+	return linalg.Vector(tr.BlockTemps()).Max()
+}

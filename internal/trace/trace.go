@@ -1,0 +1,167 @@
+// Package trace is the synthetic stand-in for the paper's gem5 + McPAT
+// characterization runs. The paper's tool flow (Figure 1) simulates each
+// PARSEC application at 22 nm, producing performance and power traces that
+// are then reduced to the Equation (1) power model. We have no gem5 or
+// McPAT, so this package *generates* traces from the catalog's ground-truth
+// models, perturbed with deterministic, reproducible measurement noise, and
+// the rest of the pipeline fits Equation (1) back from them — exercising
+// the same fit-then-scale code path as the paper without the external
+// simulators.
+//
+// Determinism matters: the same (application, seed) always produces the
+// same trace, so experiments and tests are reproducible.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"darksim/internal/apps"
+	"darksim/internal/power"
+	"darksim/internal/tech"
+	"darksim/internal/vf"
+)
+
+// Row is one record of a synthetic gem5/McPAT run: the application ran at
+// one operating point and the "simulator" reported power and throughput.
+type Row struct {
+	FGHz   float64
+	Vdd    float64
+	TempC  float64
+	PowerW float64 // McPAT-style total core power
+	GIPS   float64 // gem5-style throughput for a single thread
+}
+
+// Options configures trace generation.
+type Options struct {
+	// MinGHz, MaxGHz, StepGHz define the frequency sweep.
+	// Defaults: 0.4 to 4.0 in 0.2 steps.
+	MinGHz, MaxGHz, StepGHz float64
+	// TempC is the die temperature the samples are taken at (default 60).
+	TempC float64
+	// NoiseFrac is the relative 1-sigma measurement noise (default 0.02).
+	NoiseFrac float64
+	// Seed selects the deterministic noise stream.
+	Seed int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.MinGHz == 0 {
+		o.MinGHz = 0.4
+	}
+	if o.MaxGHz == 0 {
+		o.MaxGHz = 4.0
+	}
+	if o.StepGHz == 0 {
+		o.StepGHz = 0.2
+	}
+	if o.TempC == 0 {
+		o.TempC = 60
+	}
+	if o.NoiseFrac == 0 {
+		o.NoiseFrac = 0.02
+	}
+}
+
+// ErrOptions is returned for inconsistent sweep options.
+var ErrOptions = errors.New("trace: invalid options")
+
+// Generate produces the single-thread 22 nm trace for an application,
+// mirroring the measurements behind the paper's Figure 3.
+func Generate(app apps.App, opt Options) ([]Row, error) {
+	opt.fillDefaults()
+	if opt.MinGHz <= 0 || opt.MaxGHz < opt.MinGHz || opt.StepGHz <= 0 {
+		return nil, fmt.Errorf("%w: sweep [%g, %g] step %g", ErrOptions, opt.MinGHz, opt.MaxGHz, opt.StepGHz)
+	}
+	if opt.NoiseFrac < 0 || opt.NoiseFrac > 0.5 {
+		return nil, fmt.Errorf("%w: noise fraction %g", ErrOptions, opt.NoiseFrac)
+	}
+	curve, err := vf.CurveFor(tech.Node22)
+	if err != nil {
+		return nil, err
+	}
+	model := app.Model22()
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(len(app.Name))<<32))
+	var rows []Row
+	for f := opt.MinGHz; f <= opt.MaxGHz+1e-9; f += opt.StepGHz {
+		vdd, err := curve.VoltageFor(f)
+		if err != nil {
+			return nil, err
+		}
+		truth := model.Power(app.AlphaSingle, vdd, f, opt.TempC)
+		noisy := truth * (1 + opt.NoiseFrac*rng.NormFloat64())
+		if noisy < 0 {
+			noisy = 0
+		}
+		rows = append(rows, Row{
+			FGHz:   f,
+			Vdd:    vdd,
+			TempC:  opt.TempC,
+			PowerW: noisy,
+			GIPS:   app.IPC * f,
+		})
+	}
+	return rows, nil
+}
+
+// FitModel reduces a trace back to an Equation (1) model, exactly as the
+// paper's flow fits its simulation results (Figure 3). The application's
+// single-thread activity factor and the baseline leakage model are assumed
+// known from the characterization setup.
+func FitModel(rows []Row, alphaSingle float64) (power.CoreModel, error) {
+	samples := make([]power.Sample, len(rows))
+	for i, r := range rows {
+		samples[i] = power.Sample{FGHz: r.FGHz, Vdd: r.Vdd, TempC: r.TempC, PowerW: r.PowerW}
+	}
+	return power.Fit(samples, power.DefaultLeakage22(), alphaSingle)
+}
+
+// Write emits the trace as a tab-separated table with a header line,
+// the on-disk interchange format of the tool flow.
+func Write(w io.Writer, rows []Row) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# f_ghz\tvdd_v\ttemp_c\tpower_w\tgips")
+	for _, r := range rows {
+		fmt.Fprintf(bw, "%.3f\t%.4f\t%.2f\t%.4f\t%.3f\n", r.FGHz, r.Vdd, r.TempC, r.PowerW, r.GIPS)
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) ([]Row, error) {
+	sc := bufio.NewScanner(r)
+	var rows []Row
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		}
+		var vals [5]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, Row{FGHz: vals[0], Vdd: vals[1], TempC: vals[2], PowerW: vals[3], GIPS: vals[4]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("trace: empty input")
+	}
+	return rows, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"darksim/internal/apps"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	x, err := apps.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(x, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(x, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seeds differ.
+	c, err := Generate(x, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].PowerW != c[i].PowerW {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds should produce different noise")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	x, err := apps.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Generate(x, Options{Seed: 1, NoiseFrac: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.4..4.0 in 0.2 steps = 19 rows.
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Power and GIPS are monotone in frequency (noise is negligible).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PowerW <= rows[i-1].PowerW {
+			t.Fatalf("power not monotone at %d", i)
+		}
+		if rows[i].GIPS <= rows[i-1].GIPS {
+			t.Fatalf("gips not monotone at %d", i)
+		}
+		if rows[i].Vdd <= rows[i-1].Vdd {
+			t.Fatalf("vdd not monotone at %d", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	x, _ := apps.ByName("x264")
+	if _, err := Generate(x, Options{MinGHz: -1}); err == nil {
+		t.Errorf("negative MinGHz should error")
+	}
+	if _, err := Generate(x, Options{MinGHz: 3, MaxGHz: 1}); err == nil {
+		t.Errorf("inverted sweep should error")
+	}
+	if _, err := Generate(x, Options{NoiseFrac: 0.9}); err == nil {
+		t.Errorf("absurd noise should error")
+	}
+}
+
+func TestFitModelRoundTrip(t *testing.T) {
+	// The fit-from-trace must recover the catalog's ground truth to a few
+	// per cent — this is the paper's "model fits the simulation" claim
+	// (Figure 3) in test form.
+	for _, name := range apps.Names() {
+		a, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Generate(a, Options{Seed: 7, NoiseFrac: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := FitModel(rows, a.AlphaSingle)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		truth := a.Model22()
+		if rel := math.Abs(fit.CeffNF-truth.CeffNF) / truth.CeffNF; rel > 0.05 {
+			t.Errorf("%s: fitted Ceff %.3f vs truth %.3f (%.1f%% off)",
+				name, fit.CeffNF, truth.CeffNF, rel*100)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	x, _ := apps.ByName("swaptions")
+	rows, err := Generate(x, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if math.Abs(got[i].PowerW-rows[i].PowerW) > 1e-3 {
+			t.Fatalf("row %d power drifted: %v vs %v", i, got[i].PowerW, rows[i].PowerW)
+		}
+		if math.Abs(got[i].FGHz-rows[i].FGHz) > 1e-3 {
+			t.Fatalf("row %d freq drifted", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Errorf("empty input should error")
+	}
+	if _, err := Read(strings.NewReader("1 2 3\n")); err == nil {
+		t.Errorf("short row should error")
+	}
+	if _, err := Read(strings.NewReader("a b c d e\n")); err == nil {
+		t.Errorf("non-numeric row should error")
+	}
+	if _, err := Read(strings.NewReader("# only comments\n")); err == nil {
+		t.Errorf("comment-only input should error")
+	}
+}

@@ -1,0 +1,39 @@
+package tsp_test
+
+import (
+	"fmt"
+	"log"
+
+	"darksim/internal/floorplan"
+	"darksim/internal/thermal"
+	"darksim/internal/tsp"
+)
+
+// Example shows the §5 TSP workflow: build the thermal model, then read
+// off the worst-case safe per-core budget as a function of how many cores
+// are active.
+func Example() {
+	fp, err := floorplan.NewGrid(10, 10, 5.1) // the 16 nm 100-core chip
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := thermal.NewModel(fp, thermal.DefaultConfig(fp.DieW, fp.DieH, 10, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	calc, err := tsp.New(model, 80) // TDTM = 80 °C
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{25, 50, 100} {
+		budget, _, err := calc.WorstCase(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("TSP(%3d cores) = %.2f W/core\n", n, budget)
+	}
+	// Output:
+	// TSP( 25 cores) = 5.58 W/core
+	// TSP( 50 cores) = 3.77 W/core
+	// TSP(100 cores) = 2.38 W/core
+}

@@ -1,0 +1,228 @@
+// Package tsp implements Thermal Safe Power (Pagani et al.,
+// CODES+ISSS 2014), the power-budget abstraction §5 of the paper builds
+// on: for a given number of active cores, TSP is the maximum per-core
+// power such that the steady-state temperature of every core stays below
+// the critical threshold, no matter (worst case) or given (mapping-aware)
+// where the active cores sit.
+//
+// The computation exploits the linearity of the RC thermal model. With
+// influence matrix B (B[i][j] = °C rise at core i per watt in core j) and
+// ambient field T0, a uniform per-core power p over an active set S yields
+//
+//	T_i = T0_i + p · Σ_{j∈S} B[i][j]
+//
+// so the largest safe p is
+//
+//	TSP(S) = min_i (Tcrit − T0_i) / Σ_{j∈S} B[i][j]
+//
+// minimized over all cores i (inactive cores cannot exceed the threshold
+// if active ones do not, but the formula covers them anyway). The
+// worst-case TSP for n cores minimizes TSP(S) over all |S| = n, which is
+// attained by the most thermally clustered mapping; this package uses a
+// greedy densest-cluster heuristic, which is exact on homogeneous grids
+// for practical purposes.
+package tsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"darksim/internal/thermal"
+)
+
+// ErrInfeasible is returned when no positive power budget exists (the
+// ambient field already violates the threshold).
+var ErrInfeasible = errors.New("tsp: thermal threshold infeasible")
+
+// Calculator computes TSP values against one thermal model and critical
+// temperature.
+type Calculator struct {
+	model *thermal.Model
+	tcrit float64
+	base  []float64 // ambient field per block
+}
+
+// New creates a Calculator for the model and critical temperature (°C).
+func New(model *thermal.Model, tcritC float64) (*Calculator, error) {
+	if model == nil {
+		return nil, errors.New("tsp: nil thermal model")
+	}
+	base := model.AmbientField()
+	for i, b := range base {
+		if b >= tcritC {
+			return nil, fmt.Errorf("%w: core %d idles at %.2f °C ≥ %.2f °C", ErrInfeasible, i, b, tcritC)
+		}
+	}
+	return &Calculator{model: model, tcrit: tcritC, base: base}, nil
+}
+
+// Tcrit returns the configured critical temperature.
+func (c *Calculator) Tcrit() float64 { return c.tcrit }
+
+// Given returns TSP for a specific active-core set: the maximum uniform
+// per-core power (W) keeping every core below Tcrit.
+func (c *Calculator) Given(active []int) (float64, error) {
+	if len(active) == 0 {
+		return 0, errors.New("tsp: empty active set")
+	}
+	n := c.model.NumBlocks()
+	seen := make(map[int]bool, len(active))
+	for _, a := range active {
+		if a < 0 || a >= n {
+			return 0, fmt.Errorf("tsp: core index %d out of range [0,%d)", a, n)
+		}
+		if seen[a] {
+			return 0, fmt.Errorf("tsp: duplicate core index %d", a)
+		}
+		seen[a] = true
+	}
+	inf := c.model.InfluenceMatrix()
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for _, j := range active {
+			rowSum += inf.At(i, j)
+		}
+		if rowSum <= 0 {
+			continue
+		}
+		if p := (c.tcrit - c.base[i]) / rowSum; p < best {
+			best = p
+		}
+	}
+	if math.IsInf(best, 1) || best <= 0 {
+		return 0, fmt.Errorf("%w: active set of %d cores", ErrInfeasible, len(active))
+	}
+	return best, nil
+}
+
+// WorstCase returns the worst-case TSP for n active cores: the TSP of the
+// most thermally adverse placement. The placement is found greedily: start
+// from the single core with the highest self-influence (the thermal
+// centre) and repeatedly add the core that maximizes the accumulated
+// influence at the current hottest spot. It also returns the adversarial
+// placement itself.
+func (c *Calculator) WorstCase(n int) (float64, []int, error) {
+	nb := c.model.NumBlocks()
+	if n <= 0 || n > nb {
+		return 0, nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
+	}
+	inf := c.model.InfluenceMatrix()
+
+	// Seed: the core with maximum self-influence.
+	seed, best := 0, math.Inf(-1)
+	for i := 0; i < nb; i++ {
+		if v := inf.At(i, i); v > best {
+			seed, best = i, v
+		}
+	}
+	active := []int{seed}
+	inSet := make([]bool, nb)
+	inSet[seed] = true
+	// rowSum[i] accumulates Σ_{j∈S} B[i][j].
+	rowSum := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		rowSum[i] = inf.At(i, seed)
+	}
+	for len(active) < n {
+		// Current hottest candidate row (weighted by headroom).
+		hot, worst := -1, math.Inf(-1)
+		for i := 0; i < nb; i++ {
+			if v := rowSum[i] / (c.tcrit - c.base[i]); v > worst {
+				hot, worst = i, v
+			}
+		}
+		// Add the core contributing most to the hottest row.
+		pick, bestContrib := -1, math.Inf(-1)
+		for j := 0; j < nb; j++ {
+			if inSet[j] {
+				continue
+			}
+			if v := inf.At(hot, j); v > bestContrib {
+				pick, bestContrib = j, v
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		inSet[pick] = true
+		active = append(active, pick)
+		for i := 0; i < nb; i++ {
+			rowSum[i] += inf.At(i, pick)
+		}
+	}
+	p, err := c.Given(active)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p, active, nil
+}
+
+// BestCase returns the TSP of a thermally favourable placement for n
+// cores, found greedily by always adding the core that keeps the maximum
+// influence row sum lowest. This is the "dark silicon patterning" dual of
+// WorstCase and upper-bounds the achievable uniform budget.
+func (c *Calculator) BestCase(n int) (float64, []int, error) {
+	nb := c.model.NumBlocks()
+	if n <= 0 || n > nb {
+		return 0, nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
+	}
+	inf := c.model.InfluenceMatrix()
+	inSet := make([]bool, nb)
+	rowSum := make([]float64, nb)
+	var active []int
+	for len(active) < n {
+		pick, bestPeak := -1, math.Inf(1)
+		for j := 0; j < nb; j++ {
+			if inSet[j] {
+				continue
+			}
+			// Peak normalized row sum if j were added.
+			peak := math.Inf(-1)
+			for i := 0; i < nb; i++ {
+				if v := (rowSum[i] + inf.At(i, j)) / (c.tcrit - c.base[i]); v > peak {
+					peak = v
+				}
+			}
+			if peak < bestPeak {
+				pick, bestPeak = j, peak
+			}
+		}
+		inSet[pick] = true
+		active = append(active, pick)
+		for i := 0; i < nb; i++ {
+			rowSum[i] += inf.At(i, pick)
+		}
+	}
+	p, err := c.Given(active)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p, active, nil
+}
+
+// TableEntry is one row of a TSP-versus-active-cores table.
+type TableEntry struct {
+	ActiveCores int
+	PerCoreW    float64 // worst-case TSP per core
+	TotalW      float64 // ActiveCores · PerCoreW
+}
+
+// Table computes the worst-case TSP for every core count in [1, max],
+// the curve §5 describes ("as the number of active cores grows, the TSP
+// values decrease").
+func (c *Calculator) Table(max int) ([]TableEntry, error) {
+	if max <= 0 || max > c.model.NumBlocks() {
+		return nil, fmt.Errorf("tsp: table size %d out of range", max)
+	}
+	out := make([]TableEntry, 0, max)
+	for n := 1; n <= max; n++ {
+		p, _, err := c.WorstCase(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TableEntry{ActiveCores: n, PerCoreW: p, TotalW: p * float64(n)})
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+// Package units provides thin named types and helpers for the physical
+// quantities that flow through the dark-silicon models: power, temperature,
+// frequency, voltage, area, energy and time.
+//
+// All quantities are plain float64 values in SI-flavoured base units so they
+// compose freely with math routines; the named types exist to document
+// intent at API boundaries and to carry formatting helpers. Conversions
+// between the convenience units used in the paper (GHz, mm², kJ) and the
+// base units live here so the rest of the code base never multiplies by
+// stray powers of ten.
+package units
+
+import "fmt"
+
+// Watts is electrical or thermal power in watts.
+type Watts float64
+
+// Celsius is a temperature in degrees Celsius. The thermal solver works in
+// Celsius throughout because the compact RC model is linear and only
+// temperature differences matter; the convection boundary anchors the
+// absolute value.
+type Celsius float64
+
+// Hertz is a frequency in Hz. Core clocks are usually expressed in GHz via
+// the GHz helper.
+type Hertz float64
+
+// Volts is the supply voltage Vdd (or the threshold voltage Vth) in volts.
+type Volts float64
+
+// SquareMeters is an area in m². Core areas are usually expressed in mm²
+// via the MM2 helper.
+type SquareMeters float64
+
+// Joules is an energy in joules.
+type Joules float64
+
+// Seconds is a duration in seconds. The transient simulator uses plain
+// float64 seconds rather than time.Duration because control periods of
+// 1 ms over 100 s runs are pure numerics, not wall-clock scheduling.
+type Seconds float64
+
+// Giga is the SI giga multiplier.
+const Giga = 1e9
+
+// Milli is the SI milli multiplier.
+const Milli = 1e-3
+
+// Micro is the SI micro multiplier.
+const Micro = 1e-6
+
+// GHz converts a value in gigahertz to Hertz.
+func GHz(v float64) Hertz { return Hertz(v * Giga) }
+
+// InGHz reports the frequency in gigahertz.
+func (f Hertz) InGHz() float64 { return float64(f) / Giga }
+
+// MM2 converts a value in square millimetres to SquareMeters.
+func MM2(v float64) SquareMeters { return SquareMeters(v * 1e-6) }
+
+// InMM2 reports the area in square millimetres.
+func (a SquareMeters) InMM2() float64 { return float64(a) * 1e6 }
+
+// KJ converts a value in kilojoules to Joules.
+func KJ(v float64) Joules { return Joules(v * 1e3) }
+
+// InKJ reports the energy in kilojoules.
+func (e Joules) InKJ() float64 { return float64(e) / 1e3 }
+
+// MS converts a value in milliseconds to Seconds.
+func MS(v float64) Seconds { return Seconds(v * Milli) }
+
+// String implements fmt.Stringer with engineering-friendly precision.
+func (p Watts) String() string { return fmt.Sprintf("%.3f W", float64(p)) }
+
+// String implements fmt.Stringer.
+func (t Celsius) String() string { return fmt.Sprintf("%.2f °C", float64(t)) }
+
+// String implements fmt.Stringer.
+func (f Hertz) String() string { return fmt.Sprintf("%.2f GHz", f.InGHz()) }
+
+// String implements fmt.Stringer.
+func (v Volts) String() string { return fmt.Sprintf("%.3f V", float64(v)) }
+
+// String implements fmt.Stringer.
+func (a SquareMeters) String() string { return fmt.Sprintf("%.2f mm²", a.InMM2()) }
+
+// String implements fmt.Stringer.
+func (e Joules) String() string { return fmt.Sprintf("%.3f kJ", e.InKJ()) }
+
+// String implements fmt.Stringer.
+func (s Seconds) String() string { return fmt.Sprintf("%.3f s", float64(s)) }

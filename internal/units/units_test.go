@@ -1,0 +1,49 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConversions(t *testing.T) {
+	if GHz(2.5) != Hertz(2.5e9) {
+		t.Errorf("GHz = %v", GHz(2.5))
+	}
+	if got := GHz(3.6).InGHz(); math.Abs(got-3.6) > 1e-12 {
+		t.Errorf("InGHz = %v", got)
+	}
+	if math.Abs(float64(MM2(5.1))-5.1e-6) > 1e-18 {
+		t.Errorf("MM2 = %v", MM2(5.1))
+	}
+	if got := MM2(9.6).InMM2(); math.Abs(got-9.6) > 1e-9 {
+		t.Errorf("InMM2 = %v", got)
+	}
+	if KJ(2) != Joules(2000) {
+		t.Errorf("KJ = %v", KJ(2))
+	}
+	if got := KJ(1.5).InKJ(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("InKJ = %v", got)
+	}
+	if MS(1) != Seconds(1e-3) {
+		t.Errorf("MS = %v", MS(1))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(3.75).String(), "3.750 W"},
+		{Celsius(80).String(), "80.00 °C"},
+		{GHz(3.6).String(), "3.60 GHz"},
+		{Volts(0.89).String(), "0.890 V"},
+		{MM2(5.1).String(), "5.10 mm²"},
+		{KJ(1.234).String(), "1.234 kJ"},
+		{Seconds(0.001).String(), "0.001 s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String = %q, want %q", c.got, c.want)
+		}
+	}
+}
