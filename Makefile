@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments ablations clean
+.PHONY: all check build vet test test-short race bench experiments ablations clean
 
-all: build vet test
+all: check
+
+# check is the tier-1 gate: build, vet, tests, and the race detector over
+# the parallel sweep paths.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,11 @@ test:
 # Skips the long transient co-simulations.
 test-short:
 	$(GO) test -short ./...
+
+# Data-race detection across every package, including the runner-based
+# parallel sweeps (fig11–fig13, influence matrix, darksim all).
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,27 +7,45 @@
 //	darksim fig5                 # run one experiment
 //	darksim all                  # run everything (transients included)
 //	darksim -duration 20 fig11   # shorten the transient experiments
+//	darksim -parallel 4 all      # run 4 figures concurrently
+//	darksim -timeout 10m all     # abort a run that exceeds 10 minutes
 //
 // Transient experiments (fig11–fig13) default to the paper's run lengths;
-// -duration trades fidelity for speed.
+// -duration trades fidelity for speed. With `all` and `ablations` the
+// independent experiments run concurrently (bounded by -parallel), but
+// their outputs are printed in registry order, byte-identical to a
+// sequential run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"darksim/internal/experiments"
+	"darksim/internal/runner"
 )
 
 func main() {
 	duration := flag.Float64("duration", 0, "override transient duration in seconds (fig11–fig13)")
+	parallel := flag.Int("parallel", 0, "experiments to run concurrently for 'all'/'ablations' (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no timeout)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) != 1 {
 		usage()
 		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	switch args[0] {
 	case "list":
@@ -38,29 +56,62 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
 		}
 	case "all":
-		for _, e := range experiments.Registry() {
-			if err := runOne(e.ID, *duration); err != nil {
-				fmt.Fprintf(os.Stderr, "darksim: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		if err := runAll(ctx, experiments.Registry(), *parallel, *duration, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
 		}
 	case "ablations":
-		for _, e := range experiments.AblationRegistry() {
-			if err := runOne(e.ID, *duration); err != nil {
-				fmt.Fprintf(os.Stderr, "darksim: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		if err := runAll(ctx, experiments.AblationRegistry(), *parallel, *duration, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
 		}
 	default:
-		if err := runOne(args[0], *duration); err != nil {
+		if err := runOne(ctx, args[0], *duration); err != nil {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(id string, duration float64) error {
-	r, err := run(id, duration)
+// runAll runs every experiment with up to `parallel` running concurrently
+// and writes the rendered outputs to w in registry order regardless of
+// completion order. On failure the outputs that did complete are still
+// written (in order, with gaps) before the first failure is returned.
+func runAll(ctx context.Context, entries []experiments.Experiment, parallel int, duration float64, w io.Writer) error {
+	outs, err := runner.Map(ctx, entries, runner.Options{Workers: parallel},
+		func(ctx context.Context, _ int, e experiments.Experiment) ([]byte, error) {
+			// The sweep experiments already prefix their errors with the
+			// figure id; add it only when missing.
+			fail := func(err error) ([]byte, error) {
+				if strings.HasPrefix(err.Error(), e.ID+":") {
+					return nil, err
+				}
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			var buf bytes.Buffer
+			r, rerr := run(ctx, e.ID, duration)
+			if rerr != nil {
+				return fail(rerr)
+			}
+			fmt.Fprintf(&buf, "==== %s ====\n", e.ID)
+			if rerr := r.Render(&buf); rerr != nil {
+				return fail(rerr)
+			}
+			fmt.Fprintln(&buf)
+			return buf.Bytes(), nil
+		})
+	for _, out := range outs {
+		if out != nil {
+			if _, werr := w.Write(out); werr != nil {
+				return werr
+			}
+		}
+	}
+	return err
+}
+
+func runOne(ctx context.Context, id string, duration float64) error {
+	r, err := run(ctx, id, duration)
 	if err != nil {
 		return err
 	}
@@ -74,31 +125,31 @@ func runOne(id string, duration float64) error {
 
 // run dispatches with the optional duration override for the transient
 // experiments.
-func run(id string, duration float64) (experiments.Renderer, error) {
+func run(ctx context.Context, id string, duration float64) (experiments.Renderer, error) {
 	if duration > 0 {
 		switch id {
 		case "fig11":
-			return experiments.Fig11(experiments.Fig11Options{DurationS: duration})
+			return experiments.Fig11(ctx, experiments.Fig11Options{DurationS: duration})
 		case "fig12":
-			return experiments.Fig12(experiments.Fig12Options{DurationS: duration})
+			return experiments.Fig12(ctx, experiments.Fig12Options{DurationS: duration})
 		case "fig13":
-			return experiments.Fig13(experiments.Fig13Options{DurationS: duration})
+			return experiments.Fig13(ctx, experiments.Fig13Options{DurationS: duration})
 		}
 	}
 	e, err := experiments.ByID(id)
 	if err != nil {
 		for _, ab := range experiments.AblationRegistry() {
 			if ab.ID == id {
-				return ab.Run()
+				return ab.Run(ctx)
 			}
 		}
 		return nil, err
 	}
-	return e.Run()
+	return e.Run(ctx)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] <experiment|all|ablations|list>
+	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] <experiment|all|ablations|list>
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of

@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"strings"
 	"testing"
+
+	"darksim/internal/experiments"
 )
 
 func TestRunDispatch(t *testing.T) {
+	ctx := context.Background()
 	// A table experiment by id.
-	r, err := run("fig1", 0)
+	r, err := run(ctx, "fig1", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,11 +24,11 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("fig1 rendered nothing")
 	}
 	// An ablation by id.
-	if _, err := run("ab-grid", 0); err != nil {
+	if _, err := run(ctx, "ab-grid", 0); err != nil {
 		t.Errorf("ab-grid: %v", err)
 	}
 	// Unknown id.
-	if _, err := run("fig99", 0); err == nil {
+	if _, err := run(ctx, "fig99", 0); err == nil {
 		t.Errorf("unknown id should error")
 	}
 }
@@ -32,12 +37,79 @@ func TestRunDurationOverride(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transient experiment")
 	}
-	r, err := run("fig11", 1)
+	r, err := run(context.Background(), "fig11", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
 	if err := r.Render(&buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fastEntries picks quick analytic experiments for the concurrency tests.
+func fastEntries(t *testing.T, ids ...string) []experiments.Experiment {
+	t.Helper()
+	var out []experiments.Experiment
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestRunAllOrderedOutput(t *testing.T) {
+	entries := fastEntries(t, "fig1", "fig2", "fig3")
+
+	var sequential bytes.Buffer
+	if err := runAll(context.Background(), entries, 1, 0, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := runAll(context.Background(), entries, 3, 0, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if sequential.String() != parallel.String() {
+		t.Errorf("parallel output differs from sequential output")
+	}
+	out := parallel.String()
+	i1 := strings.Index(out, "==== fig1 ====")
+	i2 := strings.Index(out, "==== fig2 ====")
+	i3 := strings.Index(out, "==== fig3 ====")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Errorf("outputs not in registry order: %d %d %d", i1, i2, i3)
+	}
+}
+
+func TestRunAllReportsFailingExperiment(t *testing.T) {
+	entries := fastEntries(t, "fig1")
+	entries = append(entries, experiments.Experiment{
+		ID:          "fig99",
+		Description: "bogus",
+		Run:         func(context.Context) (experiments.Renderer, error) { return nil, nil },
+	})
+	var buf bytes.Buffer
+	err := runAll(context.Background(), entries, 2, 0, &buf)
+	if err == nil {
+		t.Fatal("bogus experiment should fail the run")
+	}
+	if !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("error %q does not name the failing experiment", err)
+	}
+	// The successful experiment's output is still delivered.
+	if !strings.Contains(buf.String(), "==== fig1 ====") {
+		t.Errorf("completed outputs should still be written on failure")
+	}
+}
+
+func TestRunAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runAll(ctx, fastEntries(t, "fig1"), 1, 0, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("cancelled context must surface as an error")
 	}
 }

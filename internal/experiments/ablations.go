@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,14 +48,14 @@ func newLadderWithStep(p *core.Platform, stepGHz float64) (*vf.Ladder, error) {
 // each modelling decision matters.
 func AblationRegistry() []Experiment {
 	return []Experiment{
-		{"ab-rotation", "Spatio-temporal rotation vs static mapping (peak temperature)", func() (Renderer, error) { return AblationRotation() }},
-		{"ab-grid", "Thermal model grid-resolution sensitivity", func() (Renderer, error) { return AblationGrid() }},
-		{"ab-holdband", "Boost controller hold-band sensitivity", func() (Renderer, error) { return AblationHoldBand() }},
-		{"ab-strategy", "Placement strategies: thermally safe core counts", func() (Renderer, error) { return AblationStrategies() }},
-		{"ab-ladder", "DVFS ladder granularity vs estimation quality", func() (Renderer, error) { return AblationLadderStep() }},
-		{"ab-aging", "Aging balance: rotation vs static mapping", func() (Renderer, error) { return AblationAging() }},
-		{"ab-baseline", "ISCA'11 power-budget baseline vs temperature-aware estimation", func() (Renderer, error) { return Baseline() }},
-		{"ab-variability", "Variability-aware vs oblivious core selection (DaSim angle)", func() (Renderer, error) { return AblationVariability() }},
+		{"ab-rotation", "Spatio-temporal rotation vs static mapping (peak temperature)", func(context.Context) (Renderer, error) { return AblationRotation() }},
+		{"ab-grid", "Thermal model grid-resolution sensitivity", func(context.Context) (Renderer, error) { return AblationGrid() }},
+		{"ab-holdband", "Boost controller hold-band sensitivity", func(context.Context) (Renderer, error) { return AblationHoldBand() }},
+		{"ab-strategy", "Placement strategies: thermally safe core counts", func(context.Context) (Renderer, error) { return AblationStrategies() }},
+		{"ab-ladder", "DVFS ladder granularity vs estimation quality", func(context.Context) (Renderer, error) { return AblationLadderStep() }},
+		{"ab-aging", "Aging balance: rotation vs static mapping", func(context.Context) (Renderer, error) { return AblationAging() }},
+		{"ab-baseline", "ISCA'11 power-budget baseline vs temperature-aware estimation", func(context.Context) (Renderer, error) { return Baseline() }},
+		{"ab-variability", "Variability-aware vs oblivious core selection (DaSim angle)", func(context.Context) (Renderer, error) { return AblationVariability() }},
 	}
 }
 

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -16,32 +18,50 @@ import (
 	"darksim/internal/tech"
 )
 
+// ErrOptions reports invalid experiment options (negative durations,
+// non-positive sweep steps, …). Callers can match it with errors.Is.
+var ErrOptions = errors.New("experiments: invalid options")
+
 // platformKey identifies a cached platform.
 type platformKey struct {
 	node  tech.Node
 	cores int
 }
 
+// platEntry is one cache slot: the once serializes the build of this key
+// only, so distinct keys factor their thermal networks in parallel while
+// duplicate requests share a single build.
+type platEntry struct {
+	once sync.Once
+	p    *core.Platform
+	err  error
+}
+
 var (
-	platMu    sync.Mutex
-	platCache = map[platformKey]*core.Platform{}
+	platMu    sync.Mutex // guards the map, never held across a build
+	platCache = map[platformKey]*platEntry{}
+
+	// buildPlatform is swapped by tests to observe build concurrency.
+	buildPlatform = func(node tech.Node, cores int) (*core.Platform, error) {
+		return core.NewPlatformWith(node, core.Options{Cores: cores})
+	}
 )
 
 // platformFor returns a cached Platform: building one factors a Cholesky
-// of the thermal network, which is worth sharing across experiments.
+// of the thermal network, which is worth sharing across experiments. The
+// result (including a build error) is cached per (node, cores) key;
+// concurrent callers for different keys build concurrently.
 func platformFor(node tech.Node, cores int) (*core.Platform, error) {
-	platMu.Lock()
-	defer platMu.Unlock()
 	key := platformKey{node, cores}
-	if p, ok := platCache[key]; ok {
-		return p, nil
+	platMu.Lock()
+	e := platCache[key]
+	if e == nil {
+		e = &platEntry{}
+		platCache[key] = e
 	}
-	p, err := core.NewPlatformWith(node, core.Options{Cores: cores})
-	if err != nil {
-		return nil, err
-	}
-	platCache[key] = p
-	return p, nil
+	platMu.Unlock()
+	e.once.Do(func() { e.p, e.err = buildPlatform(node, cores) })
+	return e.p, e.err
 }
 
 // coresForNode returns the paper's platform size per node (§2.1: "manycore
@@ -63,30 +83,32 @@ type Renderer interface {
 	Render(w io.Writer) error
 }
 
-// Experiment couples an id with its runner for the CLI registry.
+// Experiment couples an id with its runner for the CLI registry. Run
+// receives a context for cancellation; experiments without long sweeps
+// may ignore it.
 type Experiment struct {
 	ID          string
 	Description string
-	Run         func() (Renderer, error)
+	Run         func(ctx context.Context) (Renderer, error)
 }
 
 // Registry lists all experiments in figure order.
 func Registry() []Experiment {
 	return []Experiment{
-		{"fig1", "ITRS scaling factors and derived per-node specs (Figure 1)", func() (Renderer, error) { return Fig1() }},
-		{"fig2", "Frequency vs voltage design space, Eq.(2) (Figure 2)", func() (Renderer, error) { return Fig2() }},
-		{"fig3", "Power model fit vs synthetic McPAT samples, x264 @22nm (Figure 3)", func() (Renderer, error) { return Fig3() }},
-		{"fig4", "Speed-up vs parallel threads (Figure 4)", func() (Renderer, error) { return Fig4() }},
-		{"fig5", "Dark silicon under optimistic/pessimistic TDP (Figure 5)", func() (Renderer, error) { return Fig5() }},
-		{"fig6", "TDP- vs temperature-constrained dark silicon (Figure 6)", func() (Renderer, error) { return Fig6() }},
-		{"fig7", "DVFS scenarios: performance and dark silicon (Figure 7)", func() (Renderer, error) { return Fig7() }},
-		{"fig8", "Dark silicon patterning vs contiguous mapping (Figure 8)", func() (Renderer, error) { return Fig8() }},
-		{"fig9", "TDPmap vs DsRem (Figure 9)", func() (Renderer, error) { return Fig9() }},
-		{"fig10", "Performance under TSP across nodes (Figure 10)", func() (Renderer, error) { return Fig10() }},
-		{"fig11", "Boosting vs constant frequency transients (Figure 11)", func() (Renderer, error) { return Fig11(DefaultFig11Options()) }},
-		{"fig12", "Boost/constant scaling with active cores (Figure 12)", func() (Renderer, error) { return Fig12(DefaultFig12Options()) }},
-		{"fig13", "Boost/constant across applications @11nm (Figure 13)", func() (Renderer, error) { return Fig13(DefaultFig13Options()) }},
-		{"fig14", "STC vs NTC performance and energy (Figure 14)", func() (Renderer, error) { return Fig14() }},
+		{"fig1", "ITRS scaling factors and derived per-node specs (Figure 1)", func(context.Context) (Renderer, error) { return Fig1() }},
+		{"fig2", "Frequency vs voltage design space, Eq.(2) (Figure 2)", func(context.Context) (Renderer, error) { return Fig2() }},
+		{"fig3", "Power model fit vs synthetic McPAT samples, x264 @22nm (Figure 3)", func(context.Context) (Renderer, error) { return Fig3() }},
+		{"fig4", "Speed-up vs parallel threads (Figure 4)", func(context.Context) (Renderer, error) { return Fig4() }},
+		{"fig5", "Dark silicon under optimistic/pessimistic TDP (Figure 5)", func(context.Context) (Renderer, error) { return Fig5() }},
+		{"fig6", "TDP- vs temperature-constrained dark silicon (Figure 6)", func(context.Context) (Renderer, error) { return Fig6() }},
+		{"fig7", "DVFS scenarios: performance and dark silicon (Figure 7)", func(context.Context) (Renderer, error) { return Fig7() }},
+		{"fig8", "Dark silicon patterning vs contiguous mapping (Figure 8)", func(context.Context) (Renderer, error) { return Fig8() }},
+		{"fig9", "TDPmap vs DsRem (Figure 9)", func(context.Context) (Renderer, error) { return Fig9() }},
+		{"fig10", "Performance under TSP across nodes (Figure 10)", func(context.Context) (Renderer, error) { return Fig10() }},
+		{"fig11", "Boosting vs constant frequency transients (Figure 11)", func(ctx context.Context) (Renderer, error) { return Fig11(ctx, DefaultFig11Options()) }},
+		{"fig12", "Boost/constant scaling with active cores (Figure 12)", func(ctx context.Context) (Renderer, error) { return Fig12(ctx, DefaultFig12Options()) }},
+		{"fig13", "Boost/constant across applications @11nm (Figure 13)", func(ctx context.Context) (Renderer, error) { return Fig13(ctx, DefaultFig13Options()) }},
+		{"fig14", "STC vs NTC performance and energy (Figure 14)", func(context.Context) (Renderer, error) { return Fig14() }},
 	}
 }
 

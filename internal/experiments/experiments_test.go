@@ -2,9 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"darksim/internal/core"
 	"darksim/internal/tech"
 )
 
@@ -296,7 +301,7 @@ func TestFig11Observation3(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transient experiment")
 	}
-	r, err := Fig11(Fig11Options{DurationS: 10})
+	r, err := Fig11(context.Background(), Fig11Options{DurationS: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +327,7 @@ func TestFig12BoostCostsPower(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transient experiment")
 	}
-	r, err := Fig12(Fig12Options{DurationS: 2, StepCores: 24})
+	r, err := Fig12(context.Background(), Fig12Options{DurationS: 2, StepCores: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +354,7 @@ func TestFig13STCRegion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transient experiment")
 	}
-	r, err := Fig13(Fig13Options{DurationS: 1, Instances: []int{12, 24}})
+	r, err := Fig13(context.Background(), Fig13Options{DurationS: 1, Instances: []int{12, 24}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,4 +419,127 @@ func TestFig14NTCStory(t *testing.T) {
 		t.Errorf("NTC voltage %.2f V not in NTC region", r.NTCVdd)
 	}
 	renderOK(t, r)
+}
+
+// resetPlatformCache empties the shared platform cache (tests only).
+func resetPlatformCache() {
+	platMu.Lock()
+	platCache = map[platformKey]*platEntry{}
+	platMu.Unlock()
+}
+
+func TestPlatformForBuildsDistinctKeysConcurrently(t *testing.T) {
+	oldBuild := buildPlatform
+	resetPlatformCache()
+	defer func() {
+		buildPlatform = oldBuild
+		resetPlatformCache()
+	}()
+
+	var mu sync.Mutex
+	active, peak, builds := 0, 0, 0
+	buildPlatform = func(node tech.Node, cores int) (*core.Platform, error) {
+		mu.Lock()
+		builds++
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Millisecond) // a deliberately slow "Cholesky"
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return &core.Platform{}, nil
+	}
+
+	keys := []struct {
+		node  tech.Node
+		cores int
+	}{
+		{tech.Node22, 4}, {tech.Node16, 4}, {tech.Node22, 4}, {tech.Node16, 4},
+	}
+	got := make([]*core.Platform, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, node tech.Node, cores int) {
+			defer wg.Done()
+			p, err := platformFor(node, cores)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = p
+		}(i, k.node, k.cores)
+	}
+	wg.Wait()
+
+	if builds != 2 {
+		t.Errorf("builds = %d, want 2: duplicate keys must share one build", builds)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrent builds = %d, want 2: distinct keys must build in parallel", peak)
+	}
+	if got[0] != got[2] || got[1] != got[3] {
+		t.Errorf("requests for the same key must return the same platform")
+	}
+	if got[0] == got[1] {
+		t.Errorf("distinct keys must not share a platform")
+	}
+}
+
+func TestBoostOptionsValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig11 negative instances", func() error { _, err := Fig11(ctx, Fig11Options{Instances: -1}); return err }},
+		{"fig11 negative duration", func() error { _, err := Fig11(ctx, Fig11Options{DurationS: -5}); return err }},
+		{"fig12 negative step", func() error { _, err := Fig12(ctx, Fig12Options{StepCores: -8}); return err }},
+		{"fig12 negative duration", func() error { _, err := Fig12(ctx, Fig12Options{DurationS: -1}); return err }},
+		{"fig13 zero instances entry", func() error { _, err := Fig13(ctx, Fig13Options{Instances: []int{0}}); return err }},
+		{"fig13 negative duration", func() error { _, err := Fig13(ctx, Fig13Options{DurationS: -1}); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if !errors.Is(err, ErrOptions) {
+			t.Errorf("%s: err = %v, want ErrOptions", tc.name, err)
+		}
+	}
+	// Zero values still mean "use default" and must not error.
+	if err := (Fig12Options{}).Validate(); err != nil {
+		t.Errorf("zero Fig12Options should be valid: %v", err)
+	}
+}
+
+func TestFig12CancelledContextNamesSweepPoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fig12(ctx, Fig12Options{DurationS: 0.1, StepCores: 24})
+	if err == nil {
+		t.Fatal("cancelled context must abort the sweep")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "fig12") || !strings.Contains(err.Error(), "active cores") {
+		t.Errorf("error %q does not identify the failing sweep point", err)
+	}
+}
+
+func TestFig13CancelledContextNamesScenario(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fig13(ctx, Fig13Options{DurationS: 0.1, Instances: []int{12}})
+	if err == nil {
+		t.Fatal("cancelled context must abort the sweep")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "fig13") || !strings.Contains(err.Error(), "instances") {
+		t.Errorf("error %q does not identify the failing scenario", err)
+	}
 }

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
+	"math"
 
 	"darksim/internal/apps"
 	"darksim/internal/boost"
@@ -12,10 +12,20 @@ import (
 	"darksim/internal/mapping"
 	"darksim/internal/metrics"
 	"darksim/internal/report"
+	"darksim/internal/runner"
 	"darksim/internal/sim"
 	"darksim/internal/tech"
 	"darksim/internal/vf"
 )
+
+// checkDuration rejects negative or non-finite durations. Zero is always
+// allowed: it selects the figure's default run length.
+func checkDuration(fig string, seconds float64) error {
+	if seconds < 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return fmt.Errorf("%w: %s: duration %g s", ErrOptions, fig, seconds)
+	}
+	return nil
+}
 
 // instancesPlan places `instances` 8-thread instances of one application
 // with periphery-first patterning.
@@ -38,31 +48,45 @@ func buildAppPlanInstances(p *core.Platform, a apps.App, instances, threads int,
 }
 
 // runBoostPair simulates the boosting controller and the constant-
-// frequency baseline on the same plan and returns both results.
-func runBoostPair(p *core.Platform, plan *mapping.Plan, duration float64) (boostRes, constRes sim.Result, constLevel int, err error) {
+// frequency baseline on the same plan and returns both results. The two
+// transients are independent runs against read-only shared state (sim.Run
+// works on a private copy of the plan), so they execute as a pair on the
+// shared runner; ctx cancellation is honored between the phases.
+func runBoostPair(ctx context.Context, p *core.Platform, plan *mapping.Plan, duration float64) (boostRes, constRes sim.Result, constLevel int, err error) {
 	ladder := p.BoostLadder
+	if err = ctx.Err(); err != nil {
+		return
+	}
 	constLevel, err = boost.FindConstantLevel(p, plan, ladder, p.TDTM)
 	if err != nil {
 		return
 	}
-	constRes, err = sim.Run(p, plan, boost.Constant{Level: constLevel}, ladder, sim.Options{
+	opts := sim.Options{
 		Duration:      duration,
 		ControlPeriod: 1e-3,
 		StartSteady:   true,
-	})
-	if err != nil {
-		return
 	}
-	var ctrl *boost.Closed
-	ctrl, err = boost.NewClosed(p.TDTM, constLevel, len(ladder.Points)-1)
-	if err != nil {
-		return
-	}
-	boostRes, err = sim.Run(p, plan, ctrl, ladder, sim.Options{
-		Duration:      duration,
-		ControlPeriod: 1e-3,
-		StartSteady:   true,
+	g, _ := runner.WithContext(ctx, 2)
+	g.Go(func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		constRes, err = sim.Run(p, plan, boost.Constant{Level: constLevel}, ladder, opts)
+		return err
 	})
+	g.Go(func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ctrl, err := boost.NewClosed(p.TDTM, constLevel, len(ladder.Points)-1)
+		if err != nil {
+			return err
+		}
+		boostRes, err = sim.Run(p, plan, ctrl, ladder, opts)
+		return err
+	})
+	err = g.Wait()
 	return
 }
 
@@ -75,6 +99,17 @@ type Fig11Options struct {
 // DefaultFig11Options returns the paper's setup (100 s, 12 instances).
 // The CLI exposes a shorter duration for quick runs.
 func DefaultFig11Options() Fig11Options { return Fig11Options{DurationS: 100, Instances: 12} }
+
+// Validate rejects nonsensical options; zero values mean "use default".
+func (o Fig11Options) Validate() error {
+	if err := checkDuration("fig11", o.DurationS); err != nil {
+		return err
+	}
+	if o.Instances < 0 {
+		return fmt.Errorf("%w: fig11: %d instances", ErrOptions, o.Instances)
+	}
+	return nil
+}
 
 // Fig11Result holds the transient traces of Figure 11.
 type Fig11Result struct {
@@ -90,11 +125,14 @@ type Fig11Result struct {
 
 // Fig11 runs 12 instances of x264 (8 threads each) at 16 nm under both
 // controllers.
-func Fig11(opt Fig11Options) (*Fig11Result, error) {
-	if opt.DurationS <= 0 {
+func Fig11(ctx context.Context, opt Fig11Options) (*Fig11Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DurationS == 0 {
 		opt.DurationS = 100
 	}
-	if opt.Instances <= 0 {
+	if opt.Instances == 0 {
 		opt.Instances = 12
 	}
 	p, err := platformFor(tech.Node16, 100)
@@ -109,9 +147,9 @@ func Fig11(opt Fig11Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, c, constLevel, err := runBoostPair(p, plan, opt.DurationS)
+	b, c, constLevel, err := runBoostPair(ctx, p, plan, opt.DurationS)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig11: %d x264 instances: %w", opt.Instances, err)
 	}
 	return &Fig11Result{
 		Boost:     b,
@@ -159,6 +197,20 @@ type Fig12Options struct {
 // ~12 points and each needs only the sustained regime.
 func DefaultFig12Options() Fig12Options { return Fig12Options{DurationS: 5, StepCores: 8} }
 
+// Validate rejects nonsensical options; zero values mean "use default".
+// A negative StepCores would previously reach `NumCores % StepCores`
+// (integer divide-by-zero for 0) or a non-advancing sweep loop; it is now
+// a reportable error instead of a panic.
+func (o Fig12Options) Validate() error {
+	if err := checkDuration("fig12", o.DurationS); err != nil {
+		return err
+	}
+	if o.StepCores < 0 {
+		return fmt.Errorf("%w: fig12: step of %d cores", ErrOptions, o.StepCores)
+	}
+	return nil
+}
+
 // Fig12Point is one x-position of Figure 12.
 type Fig12Point struct {
 	ActiveCores int
@@ -176,11 +228,14 @@ type Fig12Result struct {
 // Fig12 sweeps the active-core count for x264 at 16 nm ("a new
 // application instance every 8 active cores") and reports total
 // performance and peak power for boosting vs constant frequency.
-func Fig12(opt Fig12Options) (*Fig12Result, error) {
-	if opt.DurationS <= 0 {
+func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DurationS == 0 {
 		opt.DurationS = 5
 	}
-	if opt.StepCores <= 0 {
+	if opt.StepCores == 0 {
 		opt.StepCores = 8
 	}
 	p, err := platformFor(tech.Node16, 100)
@@ -192,47 +247,39 @@ func Fig12(opt Fig12Options) (*Fig12Result, error) {
 		return nil, err
 	}
 	var coreCounts []int
-	for cores := opt.StepCores; cores <= p.NumCores()-p.NumCores()%opt.StepCores; cores += opt.StepCores {
+	for cores := opt.StepCores; cores <= p.NumCores(); cores += opt.StepCores {
 		if cores/apps.MaxThreadsPerInstance > 0 {
 			coreCounts = append(coreCounts, cores)
 		}
 	}
 	// The sweep points are independent transients against the shared
-	// (read-only) platform; run them in parallel.
-	points := make([]Fig12Point, len(coreCounts))
-	errs := make([]error, len(coreCounts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, cores := range coreCounts {
-		wg.Add(1)
-		go func(i, cores int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			plan, err := instancesPlan(p, x, cores/apps.MaxThreadsPerInstance, 3.0)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			b, c, _, err := runBoostPair(p, plan, opt.DurationS)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			points[i] = Fig12Point{
-				ActiveCores: cores,
-				BoostGIPS:   b.AvgGIPS,
-				ConstGIPS:   c.AvgGIPS,
-				BoostPowerW: b.PeakPowerW,
-				ConstPowerW: c.PeakPowerW,
-			}
-		}(i, cores)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// (read-only) platform; run them on the pool. A failing point cancels
+	// the rest and is reported with its core count.
+	points, err := runner.Map(ctx, coreCounts, runner.Options{}, func(ctx context.Context, _, cores int) (Fig12Point, error) {
+		fail := func(err error) (Fig12Point, error) {
+			return Fig12Point{}, fmt.Errorf("fig12: sweep point %d active cores: %w", cores, err)
 		}
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		plan, err := instancesPlan(p, x, cores/apps.MaxThreadsPerInstance, 3.0)
+		if err != nil {
+			return fail(err)
+		}
+		b, c, _, err := runBoostPair(ctx, p, plan, opt.DurationS)
+		if err != nil {
+			return fail(err)
+		}
+		return Fig12Point{
+			ActiveCores: cores,
+			BoostGIPS:   b.AvgGIPS,
+			ConstGIPS:   c.AvgGIPS,
+			BoostPowerW: b.PeakPowerW,
+			ConstPowerW: c.PeakPowerW,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Fig12Result{Points: points}, nil
 }
@@ -264,6 +311,21 @@ func DefaultFig13Options() Fig13Options {
 	return Fig13Options{DurationS: 4, Instances: []int{12, 24}}
 }
 
+// Validate rejects nonsensical options; a zero duration or empty instance
+// list means "use default", but explicit non-positive instance counts are
+// errors.
+func (o Fig13Options) Validate() error {
+	if err := checkDuration("fig13", o.DurationS); err != nil {
+		return err
+	}
+	for _, n := range o.Instances {
+		if n <= 0 {
+			return fmt.Errorf("%w: fig13: %d instances", ErrOptions, n)
+		}
+	}
+	return nil
+}
+
 // Fig13Row is one (app, instance-count) scenario.
 type Fig13Row struct {
 	App        string
@@ -288,8 +350,11 @@ type Fig13Result struct {
 // each) on the 198-core 11 nm platform under both controllers. It also
 // records the minimum utilized voltage/frequency — the paper's evidence
 // that the thermal constraints keep the system in the STC region.
-func Fig13(opt Fig13Options) (*Fig13Result, error) {
-	if opt.DurationS <= 0 {
+func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DurationS == 0 {
 		opt.DurationS = 4
 	}
 	if len(opt.Instances) == 0 {
@@ -310,45 +375,37 @@ func Fig13(opt Fig13Options) (*Fig13Result, error) {
 		}
 	}
 	// Scenarios are independent transients on the shared read-only
-	// platform; run them in parallel.
-	rows := make([]Fig13Row, len(scenarios))
-	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, sc := range scenarios {
-		wg.Add(1)
-		go func(i int, sc scenario) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			plan, err := instancesPlan(p, sc.app, sc.instances, 3.0)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			b, c, constLevel, err := runBoostPair(p, plan, opt.DurationS)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			constPt := p.BoostLadder.Points[constLevel]
-			rows[i] = Fig13Row{
-				App:        sc.app.Name,
-				Instances:  sc.instances,
-				BoostGIPS:  b.AvgGIPS,
-				ConstGIPS:  c.AvgGIPS,
-				BoostPeakW: b.PeakPowerW,
-				ConstPeakW: c.PeakPowerW,
-				MinVdd:     constPt.Vdd,
-				MinFGHz:    constPt.FGHz,
-			}
-		}(i, sc)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// platform; run them on the pool. A failing scenario cancels the rest
+	// and is reported with its (app, instances) identity.
+	rows, err := runner.Map(ctx, scenarios, runner.Options{}, func(ctx context.Context, _ int, sc scenario) (Fig13Row, error) {
+		fail := func(err error) (Fig13Row, error) {
+			return Fig13Row{}, fmt.Errorf("fig13: scenario %s x%d instances: %w", sc.app.Name, sc.instances, err)
 		}
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		plan, err := instancesPlan(p, sc.app, sc.instances, 3.0)
+		if err != nil {
+			return fail(err)
+		}
+		b, c, constLevel, err := runBoostPair(ctx, p, plan, opt.DurationS)
+		if err != nil {
+			return fail(err)
+		}
+		constPt := p.BoostLadder.Points[constLevel]
+		return Fig13Row{
+			App:        sc.app.Name,
+			Instances:  sc.instances,
+			BoostGIPS:  b.AvgGIPS,
+			ConstGIPS:  c.AvgGIPS,
+			BoostPeakW: b.PeakPowerW,
+			ConstPeakW: c.PeakPowerW,
+			MinVdd:     constPt.Vdd,
+			MinFGHz:    constPt.FGHz,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig13Result{Rows: rows, MinVdd: 99, MinFGHz: 99}
 	for _, row := range rows {

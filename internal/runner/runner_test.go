@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), items, Options{Workers: 8}, func(_ context.Context, i, item int) (int, error) {
+		// Stagger completion so late indices tend to finish first.
+		time.Sleep(time.Duration((len(items)-i)%7) * time.Millisecond)
+		return item * item, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, o, i*i)
+		}
+	}
+}
+
+func TestMapNBoundsWorkers(t *testing.T) {
+	var mu sync.Mutex
+	active, peak := 0, 0
+	_, err := MapN(context.Background(), 40, Options{Workers: 3}, func(context.Context, int) (struct{}, error) {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Errorf("peak concurrency %d exceeds worker bound 3", peak)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	sentinel := errors.New("boom")
+	start := time.Now()
+	_, err := MapN(context.Background(), 20, Options{Workers: 4}, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("item %d: %w", i, sentinel)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("cancellation never arrived")
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the genuine failure", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("cancellation took %v; remaining items were not cut short", elapsed)
+	}
+}
+
+func TestMapGenuineErrorBeatsCancellationFallout(t *testing.T) {
+	// The genuine failure sits at a HIGH index; lower-indexed items fail
+	// with cancellation fallout afterwards. The genuine one must win.
+	sentinel := errors.New("root cause")
+	release := make(chan struct{})
+	_, err := MapN(context.Background(), 8, Options{Workers: 8}, func(ctx context.Context, i int) (int, error) {
+		if i == 7 {
+			close(release)
+			return 0, sentinel
+		}
+		<-release
+		<-ctx.Done()
+		return 0, fmt.Errorf("item %d: %w", i, ctx.Err())
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want root cause to beat cancellation fallout", err)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Several genuine failures: the lowest index must be reported no
+	// matter which goroutine records first.
+	for trial := 0; trial < 10; trial++ {
+		_, err := MapN(context.Background(), 10, Options{Workers: 10}, func(_ context.Context, i int) (int, error) {
+			return 0, fmt.Errorf("fail-%d", i)
+		})
+		if err == nil || err.Error() != "fail-0" {
+			t.Fatalf("err = %v, want fail-0", err)
+		}
+	}
+}
+
+func TestMapExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapN(ctx, 5, Options{}, func(ctx context.Context, i int) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("point %d: %w", i, err)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+}
+
+func TestMapContextErrorWhenCallbacksIgnoreIt(t *testing.T) {
+	// Callbacks that ignore ctx all succeed, but a cancelled caller
+	// context must still surface so a timed-out run is not mistaken for
+	// a complete one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapN(ctx, 3, Options{}, func(context.Context, int) (int, error) { return 1, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	var mu sync.Mutex
+	var calls []int
+	total := -1
+	out, err := MapN(context.Background(), 17, Options{Workers: 4, Progress: func(done, n int) {
+		mu.Lock()
+		calls = append(calls, done)
+		total = n
+		mu.Unlock()
+	}}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 17 || len(calls) != 17 || total != 17 {
+		t.Fatalf("out=%d calls=%d total=%d, want 17 each", len(out), len(calls), total)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress calls not monotonic: %v", calls)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), nil, Options{}, func(context.Context, int, string) (int, error) {
+		t.Fatal("callback must not run")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestGroupFirstErrorWinsAndCancels(t *testing.T) {
+	sentinel := errors.New("boom")
+	g, gctx := WithContext(context.Background(), 2)
+	g.Go(func(context.Context) error { return sentinel })
+	g.Go(func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("group cancellation never arrived")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want sentinel", err)
+	}
+	if gctx.Err() == nil {
+		t.Errorf("group context should be cancelled after Wait")
+	}
+}
+
+func TestGroupBoundsWorkers(t *testing.T) {
+	g, _ := WithContext(context.Background(), 2)
+	var mu sync.Mutex
+	active, peak := 0, 0
+	for i := 0; i < 8; i++ {
+		g.Go(func(context.Context) error {
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			active--
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Errorf("peak concurrency %d exceeds limit 2", peak)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -1,13 +1,14 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"darksim/internal/floorplan"
 	"darksim/internal/linalg"
+	"darksim/internal/runner"
 )
 
 // cell is one RC node of the discretized stack.
@@ -307,38 +308,32 @@ func (m *Model) InfluenceMatrix() *linalg.Matrix {
 func (m *Model) computeInfluence() {
 	nb := len(m.blockCells)
 	inf := linalg.NewMatrix(nb, nb)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nb {
-		workers = nb
+	// Columns run on the shared pool; RHS buffers are recycled across
+	// solves instead of allocated per column.
+	var rhsPool sync.Pool
+	rhsPool.New = func() any {
+		v := linalg.NewVector(len(m.cells))
+		return &v
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rhs := linalg.NewVector(len(m.cells))
-			for j := range next {
-				rhs.Fill(0)
-				for _, s := range m.blockCells[j] {
-					rhs[s.node] = s.fraction
-				}
-				m.chol.SolveInPlace(rhs)
-				for i := 0; i < nb; i++ {
-					var t float64
-					for _, s := range m.blockCells[i] {
-						t += rhs[s.node] * s.weight
-					}
-					inf.Set(i, j, t)
-				}
+	// The per-column solves cannot fail, so the error is statically nil.
+	_, _ = runner.MapN(context.Background(), nb, runner.Options{}, func(_ context.Context, j int) (struct{}, error) {
+		vp := rhsPool.Get().(*linalg.Vector)
+		rhs := *vp
+		rhs.Fill(0)
+		for _, s := range m.blockCells[j] {
+			rhs[s.node] = s.fraction
+		}
+		m.chol.SolveInPlace(rhs)
+		for i := 0; i < nb; i++ {
+			var t float64
+			for _, s := range m.blockCells[i] {
+				t += rhs[s.node] * s.weight
 			}
-		}()
-	}
-	for j := 0; j < nb; j++ {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
+			inf.Set(i, j, t)
+		}
+		rhsPool.Put(vp)
+		return struct{}{}, nil
+	})
 	m.influence = inf
 }
 
