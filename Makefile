@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench experiments ablations clean
+.PHONY: all check build vet test test-short test-shuffle race bench experiments ablations serve clean
 
 all: check
 
-# check is the tier-1 gate: build, vet, tests, and the race detector over
-# the parallel sweep paths.
-check: build vet test race
+# check is the tier-1 gate: build, vet, tests (also in shuffled order, to
+# catch inter-test state leaks), and the race detector over the parallel
+# sweep paths.
+check: build vet test test-shuffle race
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,11 @@ test:
 # Skips the long transient co-simulations.
 test-short:
 	$(GO) test -short ./...
+
+# Shuffled test order flushes out hidden ordering dependencies between
+# tests (e.g. shared platform-cache state).
+test-shuffle:
+	$(GO) test -shuffle=on ./...
 
 # Data-race detection across every package, including the runner-based
 # parallel sweeps (fig11–fig13, influence matrix, darksim all).
@@ -37,6 +43,10 @@ experiments:
 
 ablations:
 	$(GO) run ./cmd/darksim ablations
+
+# Run the darksimd HTTP daemon on :8080 (see README for the endpoints).
+serve:
+	$(GO) run ./cmd/darksimd
 
 clean:
 	$(GO) clean ./...

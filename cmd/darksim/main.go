@@ -9,17 +9,21 @@
 //	darksim -duration 20 fig11   # shorten the transient experiments
 //	darksim -parallel 4 all      # run 4 figures concurrently
 //	darksim -timeout 10m all     # abort a run that exceeds 10 minutes
+//	darksim -format json fig1    # structured output (report.Table JSON)
 //
 // Transient experiments (fig11–fig13) default to the paper's run lengths;
 // -duration trades fidelity for speed. With `all` and `ablations` the
 // independent experiments run concurrently (bounded by -parallel), but
 // their outputs are printed in registry order, byte-identical to a
-// sequential run.
+// sequential run. On -timeout expiry the exit is non-zero and the error
+// names the figures that did not complete.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,17 +31,27 @@ import (
 	"strings"
 
 	"darksim/internal/experiments"
+	"darksim/internal/report"
 	"darksim/internal/runner"
 )
+
+// output is one experiment's result in either representation: rendered
+// text, or the structured tables the JSON format marshals.
+type output struct {
+	ID     string          `json:"id"`
+	Tables []*report.Table `json:"tables,omitempty"`
+	text   []byte
+}
 
 func main() {
 	duration := flag.Float64("duration", 0, "override transient duration in seconds (fig11–fig13)")
 	parallel := flag.Int("parallel", 0, "experiments to run concurrently for 'all'/'ablations' (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long, e.g. 10m (0 = no timeout)")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if len(args) != 1 {
+	if len(args) != 1 || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
 	}
@@ -56,17 +70,17 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
 		}
 	case "all":
-		if err := runAll(ctx, experiments.Registry(), *parallel, *duration, os.Stdout); err != nil {
+		if err := runAll(ctx, experiments.Registry(), *parallel, *duration, *format, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
 	case "ablations":
-		if err := runAll(ctx, experiments.AblationRegistry(), *parallel, *duration, os.Stdout); err != nil {
+		if err := runAll(ctx, experiments.AblationRegistry(), *parallel, *duration, *format, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
 	default:
-		if err := runOne(ctx, args[0], *duration); err != nil {
+		if err := runOne(ctx, args[0], *duration, *format, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,53 +88,132 @@ func main() {
 }
 
 // runAll runs every experiment with up to `parallel` running concurrently
-// and writes the rendered outputs to w in registry order regardless of
-// completion order. On failure the outputs that did complete are still
-// written (in order, with gaps) before the first failure is returned.
-func runAll(ctx context.Context, entries []experiments.Experiment, parallel int, duration float64, w io.Writer) error {
+// and writes the outputs to w in registry order regardless of completion
+// order. On failure the outputs that did complete are still written (in
+// order, with gaps) before the first failure is returned; on timeout the
+// returned error names every figure that did not complete.
+func runAll(ctx context.Context, entries []experiments.Experiment, parallel int, duration float64, format string, w io.Writer) error {
 	outs, err := runner.Map(ctx, entries, runner.Options{Workers: parallel},
-		func(ctx context.Context, _ int, e experiments.Experiment) ([]byte, error) {
+		func(ctx context.Context, _ int, e experiments.Experiment) (*output, error) {
 			// The sweep experiments already prefix their errors with the
 			// figure id; add it only when missing.
-			fail := func(err error) ([]byte, error) {
+			fail := func(err error) error {
 				if strings.HasPrefix(err.Error(), e.ID+":") {
-					return nil, err
+					return err
 				}
-				return nil, fmt.Errorf("%s: %w", e.ID, err)
+				return fmt.Errorf("%s: %w", e.ID, err)
 			}
-			var buf bytes.Buffer
-			r, rerr := run(ctx, e.ID, duration)
+			r, rerr := runEntry(ctx, e, duration)
 			if rerr != nil {
-				return fail(rerr)
+				return nil, fail(rerr)
 			}
-			fmt.Fprintf(&buf, "==== %s ====\n", e.ID)
-			if rerr := r.Render(&buf); rerr != nil {
-				return fail(rerr)
+			o, rerr := makeOutput(e.ID, r, format)
+			if rerr != nil {
+				return nil, fail(rerr)
 			}
-			fmt.Fprintln(&buf)
-			return buf.Bytes(), nil
+			return o, nil
 		})
-	for _, out := range outs {
-		if out != nil {
-			if _, werr := w.Write(out); werr != nil {
-				return werr
+	if werr := writeOutputs(w, outs, format); werr != nil {
+		return werr
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		var missing []string
+		for i, out := range outs {
+			if out == nil {
+				missing = append(missing, entries[i].ID)
 			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("timed out before %d figure(s) completed: %s: %w",
+				len(missing), strings.Join(missing, ", "), context.DeadlineExceeded)
 		}
 	}
 	return err
 }
 
-func runOne(ctx context.Context, id string, duration float64) error {
+// makeOutput realizes one result in the requested format.
+func makeOutput(id string, r experiments.Renderer, format string) (*output, error) {
+	o := &output{ID: id}
+	if format == "json" {
+		tables, ok := experiments.TablesOf(r)
+		if !ok {
+			return nil, fmt.Errorf("%s has no structured output", id)
+		}
+		o.Tables = tables
+		return o, nil
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "==== %s ====\n", id)
+	if err := r.Render(&buf); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf)
+	o.text = buf.Bytes()
+	return o, nil
+}
+
+// writeOutputs writes the completed outputs in order: concatenated text,
+// or one JSON array.
+func writeOutputs(w io.Writer, outs []*output, format string) error {
+	if format == "json" {
+		done := make([]*output, 0, len(outs))
+		for _, o := range outs {
+			if o != nil {
+				done = append(done, o)
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(done)
+	}
+	for _, o := range outs {
+		if o != nil {
+			if _, err := w.Write(o.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runOne(ctx context.Context, id string, duration float64, format string, w io.Writer) error {
 	r, err := run(ctx, id, duration)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && !strings.HasPrefix(err.Error(), id+":") && !strings.HasPrefix(err.Error(), id+" ") {
+			return fmt.Errorf("timed out before %s completed: %w", id, err)
+		}
+		return err
+	}
+	o, err := makeOutput(id, r, format)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("==== %s ====\n", id)
-	if err := r.Render(os.Stdout); err != nil {
-		return err
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(o)
 	}
-	fmt.Println()
-	return nil
+	_, err = w.Write(o.text)
+	return err
+}
+
+// runEntry runs one registry entry, honoring the duration override for
+// the transient experiments.
+func runEntry(ctx context.Context, e experiments.Experiment, duration float64) (experiments.Renderer, error) {
+	if duration > 0 {
+		switch e.ID {
+		case "fig11", "fig12", "fig13":
+			return run(ctx, e.ID, duration)
+		}
+	}
+	r, err := e.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("experiment returned no result")
+	}
+	return r, nil
 }
 
 // run dispatches with the optional duration override for the transient
@@ -149,7 +242,7 @@ func run(ctx context.Context, id string, duration float64) (experiments.Renderer
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] <experiment|all|ablations|list>
+	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] [-format text|json] <experiment|all|ablations|list>
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of

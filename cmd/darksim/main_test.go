@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"darksim/internal/experiments"
+	"darksim/internal/report"
 )
 
 func TestRunDispatch(t *testing.T) {
@@ -65,11 +69,11 @@ func TestRunAllOrderedOutput(t *testing.T) {
 	entries := fastEntries(t, "fig1", "fig2", "fig3")
 
 	var sequential bytes.Buffer
-	if err := runAll(context.Background(), entries, 1, 0, &sequential); err != nil {
+	if err := runAll(context.Background(), entries, 1, 0, "text", &sequential); err != nil {
 		t.Fatal(err)
 	}
 	var parallel bytes.Buffer
-	if err := runAll(context.Background(), entries, 3, 0, &parallel); err != nil {
+	if err := runAll(context.Background(), entries, 3, 0, "text", &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if sequential.String() != parallel.String() {
@@ -92,7 +96,7 @@ func TestRunAllReportsFailingExperiment(t *testing.T) {
 		Run:         func(context.Context) (experiments.Renderer, error) { return nil, nil },
 	})
 	var buf bytes.Buffer
-	err := runAll(context.Background(), entries, 2, 0, &buf)
+	err := runAll(context.Background(), entries, 2, 0, "text", &buf)
 	if err == nil {
 		t.Fatal("bogus experiment should fail the run")
 	}
@@ -108,8 +112,89 @@ func TestRunAllReportsFailingExperiment(t *testing.T) {
 func TestRunAllCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := runAll(ctx, fastEntries(t, "fig1"), 1, 0, &bytes.Buffer{})
+	err := runAll(ctx, fastEntries(t, "fig1"), 1, 0, "text", &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("cancelled context must surface as an error")
+	}
+}
+
+func TestRunOneJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runOne(context.Background(), "fig1", 0, "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var o struct {
+		ID     string          `json:"id"`
+		Tables []*report.Table `json:"tables"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &o); err != nil {
+		t.Fatalf("decode: %v (output %s)", err, buf.String())
+	}
+	if o.ID != "fig1" || len(o.Tables) == 0 {
+		t.Fatalf("unexpected JSON payload: %s", buf.String())
+	}
+	// The structured rows must match what the experiment itself reports.
+	r, err := run(context.Background(), "fig1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := experiments.TablesOf(r)
+	if !ok {
+		t.Fatal("fig1 has no structured output")
+	}
+	if !reflect.DeepEqual(o.Tables[0].Rows, want[0].Rows) {
+		t.Errorf("JSON rows differ from the experiment's tables")
+	}
+}
+
+func TestRunAllJSONFormat(t *testing.T) {
+	entries := fastEntries(t, "fig1", "fig2")
+	var buf bytes.Buffer
+	if err := runAll(context.Background(), entries, 2, 0, "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var outs []struct {
+		ID     string          `json:"id"`
+		Tables []*report.Table `json:"tables"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &outs); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0].ID != "fig1" || outs[1].ID != "fig2" {
+		t.Fatalf("unexpected JSON array: %s", buf.String())
+	}
+	for _, o := range outs {
+		if len(o.Tables) == 0 {
+			t.Errorf("%s: no tables in JSON output", o.ID)
+		}
+	}
+}
+
+func TestRunAllTimeoutNamesIncompleteFigures(t *testing.T) {
+	slow := experiments.Experiment{
+		ID:          "figslow",
+		Description: "hangs until cancelled",
+		Run: func(ctx context.Context) (experiments.Renderer, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	entries := append(fastEntries(t, "fig1"), slow)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var buf bytes.Buffer
+	err := runAll(ctx, entries, 2, 0, "text", &buf)
+	if err == nil {
+		t.Fatal("timed-out run must fail")
+	}
+	if !strings.Contains(err.Error(), "figslow") {
+		t.Errorf("error %q does not name the incomplete figure", err)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error %q should say the run timed out, not just %q", err, "context deadline exceeded")
+	}
+	// The fast figure completed and its output is still delivered.
+	if !strings.Contains(buf.String(), "==== fig1 ====") {
+		t.Errorf("completed figure's output missing after timeout")
 	}
 }

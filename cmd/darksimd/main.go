@@ -1,0 +1,87 @@
+// Command darksimd serves the dark-silicon experiments over HTTP as a
+// long-running daemon: a JSON API with request coalescing, a bounded LRU
+// result cache, per-request compute timeouts, and graceful shutdown that
+// drains in-flight computations.
+//
+// Usage:
+//
+//	darksimd                       # listen on :8080
+//	darksimd -addr 127.0.0.1:9090  # custom listen address
+//
+// Endpoints:
+//
+//	GET /v1/experiments                   list every experiment
+//	GET /v1/experiments/fig1              run/fetch one (tables as JSON)
+//	GET /v1/experiments/fig11?duration=5  shortened transient run
+//	GET /v1/tsp?node=16&active=40         thermal safe power query
+//	GET /healthz                          liveness
+//	GET /metrics                          counters + latency histogram
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"darksim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache-size", 64, "max cached results (<= 0 disables the cache)")
+	cacheTTL := flag.Duration("cache-ttl", time.Hour, "cached result lifetime (0 = never expires)")
+	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline")
+	workers := flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
+	flag.Parse()
+	if err := run(*addr, *cacheSize, *cacheTTL, *computeTimeout, *workers, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "darksimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheSize int, cacheTTL, computeTimeout time.Duration, workers int, drainTimeout time.Duration) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := service.New(service.Config{
+		ComputeTimeout: computeTimeout,
+		CacheSize:      cacheSize,
+		CacheTTL:       cacheTTL,
+		Workers:        workers,
+		Logger:         log,
+	}, nil)
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Info("listening", "addr", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down", "drain_timeout", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the compute pool.
+	serr := httpServer.Shutdown(sctx)
+	cerr := svc.Close(sctx)
+	if err := errors.Join(serr, cerr); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Info("drained cleanly")
+	return nil
+}

@@ -133,8 +133,8 @@ func AblationAging() (*AblationAgingResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationAgingResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationAgingResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: wear balancing (6× swaptions @3.6 GHz, 16 nm, %.0f s, Arrhenius Ea=0.8 eV)", r.Duration),
 		Columns: []string{"policy", "max wear [acc. s]", "imbalance (max/mean)"},
@@ -142,8 +142,11 @@ func (r *AblationAgingResult) Render(w io.Writer) error {
 	for _, row := range r.Rows {
 		t.AddRow(row.Policy, fmt.Sprintf("%.2f", row.MaxWearS), fmt.Sprintf("%.2f", row.Imbalance))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationAgingResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationRotationRow is one mapping policy of the rotation study.
 type AblationRotationRow struct {
@@ -206,8 +209,8 @@ func AblationRotation() (*AblationRotationResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationRotationResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationRotationResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Ablation: spatio-temporal rotation (6× swaptions @3.6 GHz, 16 nm, 10 s)",
 		Columns: []string{"policy", "avg GIPS", "max temp [°C]"},
@@ -215,8 +218,11 @@ func (r *AblationRotationResult) Render(w io.Writer) error {
 	for _, row := range r.Rows {
 		t.AddRow(row.Policy, fmt.Sprintf("%.1f", row.AvgGIPS), fmt.Sprintf("%.2f", row.MaxTempC))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationRotationResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationGridRow is one resolution of the grid study.
 type AblationGridRow struct {
@@ -268,8 +274,8 @@ func AblationGrid() (*AblationGridResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationGridResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationGridResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Ablation: spreader/sink grid resolution (52 cores × 3.77 W, 16 nm)",
 		Columns: []string{"spreader", "sink", "RC nodes", "peak [°C]", "build [s]"},
@@ -281,8 +287,11 @@ func (r *AblationGridResult) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", row.PeakC),
 			fmt.Sprintf("%.3f", row.BuildSec))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationGridResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationHoldBandRow is one hold-band setting.
 type AblationHoldBandRow struct {
@@ -347,8 +356,8 @@ func AblationHoldBand() (*AblationHoldBandResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationHoldBandResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationHoldBandResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: boost hold band (12× x264 @16nm, TDTM = %.0f °C, 5 s)", r.TDTM),
 		Columns: []string{"band [°C]", "avg GIPS", "max temp [°C]", "overshoot [°C]", "DTM events"},
@@ -360,8 +369,11 @@ func (r *AblationHoldBandResult) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", row.OvershootC),
 			fmt.Sprintf("%d", row.DTMEvents))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationHoldBandResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationStrategyRow is one placement strategy.
 type AblationStrategyRow struct {
@@ -426,8 +438,8 @@ func AblationStrategies() (*AblationStrategiesResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationStrategiesResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationStrategiesResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Ablation: placement strategies (swaptions @%.1f GHz, 16 nm, TDTM 80 °C)", r.FGHz),
 		Columns: []string{"strategy", "max safe cores", "TSP at that mapping [W/core]"},
@@ -435,8 +447,11 @@ func (r *AblationStrategiesResult) Render(w io.Writer) error {
 	for _, row := range r.Rows {
 		t.AddRow(row.Strategy, fmt.Sprintf("%d", row.SafeCores), fmt.Sprintf("%.2f", row.TSPatMax))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationStrategiesResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationLadderRow is one DVFS step granularity.
 type AblationLadderRow struct {
@@ -486,8 +501,8 @@ func AblationLadderStep() (*AblationLadderResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationLadderResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationLadderResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Ablation: DVFS ladder granularity (x264, 12 instances, 100 W, 16 nm)",
 		Columns: []string{"step [GHz]", "levels", "best GIPS", "best f [GHz]"},
@@ -498,8 +513,11 @@ func (r *AblationLadderResult) Render(w io.Writer) error {
 			fmt.Sprintf("%.1f", row.BestGIPS),
 			fmt.Sprintf("%.2f", row.BestFGHz))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationLadderResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // AblationVariabilityRow is one policy of the variability study.
 type AblationVariabilityRow struct {
@@ -588,8 +606,8 @@ func AblationVariability() (*AblationVariabilityResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *AblationVariabilityResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *AblationVariabilityResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Ablation: variability-aware core selection (7× swaptions @3.6 GHz, 16 nm, σ_leak = 0.25)",
 		Columns: []string{"policy", "total power [W]", "peak [°C]", "mean leak multiplier"},
@@ -600,5 +618,8 @@ func (r *AblationVariabilityResult) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", row.PeakC),
 			fmt.Sprintf("%.3f", row.MeanLeakMul))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *AblationVariabilityResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }

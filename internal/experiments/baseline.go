@@ -80,8 +80,8 @@ func Baseline() (*BaselineResult, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *BaselineResult) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *BaselineResult) Tables() []*report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Baseline [6] (power budget, %.0f W) vs revised (temperature-aware) dark silicon, %s",
 			r.TDPW, r.App),
@@ -95,10 +95,11 @@ func (r *BaselineResult) Render(w io.Writer) error {
 			fmt.Sprintf("%.0f", row.RevisedDVFS),
 			fmt.Sprintf("%.1fx", row.SpeedupBound))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "the power-budget model over-estimates dark silicon at every node; DVFS")
-	fmt.Fprintln(w, "and the temperature constraint recover the difference (paper §3).")
-	return nil
+	t.Notes = append(t.Notes,
+		"the power-budget model over-estimates dark silicon at every node; DVFS",
+		"and the temperature constraint recover the difference (paper §3).")
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *BaselineResult) Render(w io.Writer) error { return renderTables(w, r.Tables()) }

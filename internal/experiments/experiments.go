@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 
 	"darksim/internal/apps"
 	"darksim/internal/core"
+	"darksim/internal/report"
 	"darksim/internal/tech"
 )
 
@@ -35,11 +37,14 @@ type platEntry struct {
 	once sync.Once
 	p    *core.Platform
 	err  error
+	elem *list.Element // position in platLRU; Value is the platformKey
 }
 
 var (
-	platMu    sync.Mutex // guards the map, never held across a build
+	platMu    sync.Mutex // guards the map/list/cap, never held across a build
 	platCache = map[platformKey]*platEntry{}
+	platLRU   = list.New() // front = most recently used
+	platCap   int          // 0 or negative = unbounded
 
 	// buildPlatform is swapped by tests to observe build concurrency.
 	buildPlatform = func(node tech.Node, cores int) (*core.Platform, error) {
@@ -50,7 +55,9 @@ var (
 // platformFor returns a cached Platform: building one factors a Cholesky
 // of the thermal network, which is worth sharing across experiments. The
 // result (including a build error) is cached per (node, cores) key;
-// concurrent callers for different keys build concurrently.
+// concurrent callers for different keys build concurrently. When a size
+// cap is set (SetPlatformCacheCap) the least recently used entry is
+// evicted; callers already holding an evicted entry keep using it safely.
 func platformFor(node tech.Node, cores int) (*core.Platform, error) {
 	key := platformKey{node, cores}
 	platMu.Lock()
@@ -58,10 +65,62 @@ func platformFor(node tech.Node, cores int) (*core.Platform, error) {
 	if e == nil {
 		e = &platEntry{}
 		platCache[key] = e
+		e.elem = platLRU.PushFront(key)
+		evictPlatformsLocked()
+	} else {
+		platLRU.MoveToFront(e.elem)
 	}
 	platMu.Unlock()
 	e.once.Do(func() { e.p, e.err = buildPlatform(node, cores) })
 	return e.p, e.err
+}
+
+// evictPlatformsLocked drops least-recently-used entries until the cache
+// fits the cap. Callers must hold platMu.
+func evictPlatformsLocked() {
+	if platCap <= 0 {
+		return
+	}
+	for platLRU.Len() > platCap {
+		back := platLRU.Back()
+		delete(platCache, back.Value.(platformKey))
+		platLRU.Remove(back)
+	}
+}
+
+// PlatformFor exposes the shared platform cache: the service layer and
+// external tools reuse the same factored thermal networks the experiments
+// run on, instead of paying a fresh Cholesky per request.
+func PlatformFor(node tech.Node, cores int) (*core.Platform, error) {
+	return platformFor(node, cores)
+}
+
+// SetPlatformCacheCap bounds the platform cache to at most n entries
+// (LRU eviction); n <= 0 removes the bound. Long-running daemons set a
+// cap so arbitrary (node, cores) request mixes cannot grow the cache
+// without bound.
+func SetPlatformCacheCap(n int) {
+	platMu.Lock()
+	defer platMu.Unlock()
+	platCap = n
+	evictPlatformsLocked()
+}
+
+// ResetPlatforms empties the platform cache. In-flight builds are
+// unaffected (their entries stay valid for the callers holding them);
+// subsequent calls rebuild. Tests use this to isolate cache state.
+func ResetPlatforms() {
+	platMu.Lock()
+	defer platMu.Unlock()
+	platCache = map[platformKey]*platEntry{}
+	platLRU.Init()
+}
+
+// PlatformCacheLen reports the number of cached platforms.
+func PlatformCacheLen() int {
+	platMu.Lock()
+	defer platMu.Unlock()
+	return len(platCache)
 }
 
 // coresForNode returns the paper's platform size per node (§2.1: "manycore
@@ -78,9 +137,43 @@ func coresForNode(node tech.Node) int {
 	}
 }
 
+// CoresForNode exposes the paper's per-node platform size for consumers
+// outside this package (e.g. the service layer's TSP endpoint defaults).
+func CoresForNode(node tech.Node) int { return coresForNode(node) }
+
 // Renderer is implemented by every experiment result.
 type Renderer interface {
 	Render(w io.Writer) error
+}
+
+// Tabler is implemented by every experiment result that can emit its
+// rows as structured report.Tables in addition to rendering ASCII. The
+// HTTP service marshals these tables as JSON, and `darksim -format json`
+// prints them; chart-shaped figures emit their series as long-form
+// tables. Every result in Registry and AblationRegistry implements it.
+type Tabler interface {
+	Tables() []*report.Table
+}
+
+// TablesOf extracts the structured tables of a result, reporting whether
+// the result supports structured output.
+func TablesOf(r Renderer) ([]*report.Table, bool) {
+	t, ok := r.(Tabler)
+	if !ok {
+		return nil, false
+	}
+	return t.Tables(), true
+}
+
+// renderTables renders tables in order — the common body of the Render
+// methods whose ASCII output is exactly their structured tables.
+func renderTables(w io.Writer, tables []*report.Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Experiment couples an id with its runner for the CLI registry. Run

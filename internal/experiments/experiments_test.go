@@ -422,11 +422,7 @@ func TestFig14NTCStory(t *testing.T) {
 }
 
 // resetPlatformCache empties the shared platform cache (tests only).
-func resetPlatformCache() {
-	platMu.Lock()
-	platCache = map[platformKey]*platEntry{}
-	platMu.Unlock()
-}
+func resetPlatformCache() { ResetPlatforms() }
 
 func TestPlatformForBuildsDistinctKeysConcurrently(t *testing.T) {
 	oldBuild := buildPlatform
@@ -541,5 +537,101 @@ func TestFig13CancelledContextNamesScenario(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "fig13") || !strings.Contains(err.Error(), "instances") {
 		t.Errorf("error %q does not identify the failing scenario", err)
+	}
+}
+
+// countingBuilds swaps buildPlatform for a cheap counting stub; the
+// returned restore func must be deferred.
+func countingBuilds(t *testing.T, builds *int) (restore func()) {
+	t.Helper()
+	oldBuild := buildPlatform
+	resetPlatformCache()
+	SetPlatformCacheCap(0)
+	buildPlatform = func(node tech.Node, cores int) (*core.Platform, error) {
+		*builds++
+		return &core.Platform{}, nil
+	}
+	return func() {
+		buildPlatform = oldBuild
+		SetPlatformCacheCap(0)
+		resetPlatformCache()
+	}
+}
+
+func mustPlatform(t *testing.T, node tech.Node, cores int) *core.Platform {
+	t.Helper()
+	p, err := platformFor(node, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformCacheCapEvictsLRU(t *testing.T) {
+	builds := 0
+	defer countingBuilds(t, &builds)()
+	SetPlatformCacheCap(2)
+
+	a := mustPlatform(t, tech.Node22, 1)
+	mustPlatform(t, tech.Node22, 2)
+	mustPlatform(t, tech.Node22, 1) // touch A: B becomes least recently used
+	mustPlatform(t, tech.Node22, 3) // evicts B
+	if n := PlatformCacheLen(); n != 2 {
+		t.Errorf("cache len = %d, want 2 (capped)", n)
+	}
+	if builds != 3 {
+		t.Fatalf("builds = %d, want 3", builds)
+	}
+	if got := mustPlatform(t, tech.Node22, 1); got != a || builds != 3 {
+		t.Errorf("recently used key must stay cached (builds = %d)", builds)
+	}
+	mustPlatform(t, tech.Node22, 2)
+	if builds != 4 {
+		t.Errorf("evicted key must rebuild: builds = %d, want 4", builds)
+	}
+}
+
+func TestSetPlatformCacheCapShrinksExistingCache(t *testing.T) {
+	builds := 0
+	defer countingBuilds(t, &builds)()
+
+	for cores := 1; cores <= 3; cores++ {
+		mustPlatform(t, tech.Node22, cores)
+	}
+	if n := PlatformCacheLen(); n != 3 {
+		t.Fatalf("unbounded cache len = %d, want 3", n)
+	}
+	SetPlatformCacheCap(1)
+	if n := PlatformCacheLen(); n != 1 {
+		t.Errorf("after SetPlatformCacheCap(1): len = %d, want 1", n)
+	}
+}
+
+func TestResetPlatformsForcesRebuild(t *testing.T) {
+	builds := 0
+	defer countingBuilds(t, &builds)()
+
+	mustPlatform(t, tech.Node22, 1)
+	mustPlatform(t, tech.Node22, 1)
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1 before reset", builds)
+	}
+	ResetPlatforms()
+	if n := PlatformCacheLen(); n != 0 {
+		t.Errorf("cache len after reset = %d, want 0", n)
+	}
+	mustPlatform(t, tech.Node22, 1)
+	if builds != 2 {
+		t.Errorf("builds = %d, want 2 after reset", builds)
+	}
+}
+
+func TestPublicPlatformFor(t *testing.T) {
+	p, err := PlatformFor(tech.Node16, CoresForNode(tech.Node16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCores() != 100 {
+		t.Errorf("16nm platform has %d cores, want 100", p.NumCores())
 	}
 }

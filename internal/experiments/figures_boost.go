@@ -163,6 +163,42 @@ func Fig11(ctx context.Context, opt Fig11Options) (*Fig11Result, error) {
 	}, nil
 }
 
+// seriesTable emits named time series in long form (one row per sample),
+// downsampled like the ASCII charts.
+func seriesTable(title, unit string, names []string, series []metrics.Series) *report.Table {
+	t := &report.Table{Title: title, Columns: []string{"series", "t [s]", unit}}
+	for i, s := range series {
+		d := s.Downsample(120)
+		for j := range d.X {
+			t.AddRow(names[i],
+				fmt.Sprintf("%.3f", d.X[j]),
+				fmt.Sprintf("%.3f", d.Y[j]))
+		}
+	}
+	return t
+}
+
+// Tables implements Tabler: a summary table plus the downsampled
+// performance and temperature traces in long form.
+func (r *Fig11Result) Tables() []*report.Table {
+	sum := &report.Table{
+		Title:   fmt.Sprintf("Figure 11: %d x264 instances @16nm — %.0f s transient summary", r.Instances, r.DurationS),
+		Columns: []string{"controller", "avg GIPS", "max temp [°C]"},
+	}
+	sum.AddRow("boosting", fmt.Sprintf("%.1f", r.AvgBoost), fmt.Sprintf("%.2f", r.Boost.MaxTempC))
+	sum.AddRow(fmt.Sprintf("constant (%.1f GHz)", r.ConstGHz),
+		fmt.Sprintf("%.1f", r.AvgConst), fmt.Sprintf("%.2f", r.Constant.MaxTempC))
+	sum.AddNote("TDTM = %.0f °C", r.TDTM)
+	names := []string{"boosting", "constant"}
+	return []*report.Table{
+		sum,
+		seriesTable("performance trace", "GIPS", names,
+			[]metrics.Series{r.Boost.GIPS, r.Constant.GIPS}),
+		seriesTable("max temperature trace", "temp [°C]", names,
+			[]metrics.Series{r.Boost.PeakTemp, r.Constant.PeakTemp}),
+	}
+}
+
 // Render implements Renderer.
 func (r *Fig11Result) Render(w io.Writer) error {
 	gips := &report.Chart{
@@ -284,8 +320,8 @@ func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
 	return &Fig12Result{Points: points}, nil
 }
 
-// Render implements Renderer.
-func (r *Fig12Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig12Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Figure 12: x264 @16nm — performance and power vs active cores",
 		Columns: []string{"active cores", "boost GIPS", "const GIPS", "boost peak W", "const peak W"},
@@ -297,8 +333,11 @@ func (r *Fig12Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.0f", pt.BoostPowerW),
 			fmt.Sprintf("%.0f", pt.ConstPowerW))
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig12Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // Fig13Options parameterizes the per-application comparison.
 type Fig13Options struct {
@@ -422,8 +461,8 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig13Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig13Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Figure 13: boosting vs constant frequency, 11 nm (198 cores), 8 threads/instance",
 		Columns: []string{"app", "instances", "boost GIPS", "const GIPS", "boost peak W", "const peak W", "const GHz"},
@@ -437,13 +476,13 @@ func (r *Fig13Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.0f", row.ConstPeakW),
 			fmt.Sprintf("%.1f", row.MinFGHz))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "minimum utilized V/f across scenarios: %.2f V / %.1f GHz — %s region\n",
+	t.AddNote("minimum utilized V/f across scenarios: %.2f V / %.1f GHz — %s region",
 		r.MinVdd, r.MinFGHz, r.Region)
-	return nil
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig13Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // Fig14Row is one application of the STC vs NTC study.
 type Fig14Row struct {
@@ -587,8 +626,8 @@ func Fig14() (*Fig14Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig14Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig14Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Figure 14: STC vs NTC, 11 nm, %d instances, %.0f Ginstr/instance (NTC: 8 threads @ %.1f GHz / %.2f V)",
 			r.Instances, r.WorkGInstr, r.NTCFGHz, r.NTCVdd),
@@ -607,9 +646,6 @@ func (r *Fig14Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", row.STC2EnergyKJ),
 			fmt.Sprintf("%.2f", row.BusyWaitNTCEnergyKJ))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
 	ab := &report.Table{
 		Title:   "Ablation: ideal TLP (parallel fraction 0.98) — the regime where NTC wins",
 		Columns: []string{"app", "NTC GIPS", "NTC kJ", "STC1 GHz", "STC1 GIPS", "STC1 kJ", "NTC wins energy"},
@@ -623,5 +659,8 @@ func (r *Fig14Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", a.STC1EnergyKJ),
 			fmt.Sprintf("%v", a.NTCWins))
 	}
-	return ab.Render(w)
+	return []*report.Table{t, ab}
 }
+
+// Render implements Renderer.
+func (r *Fig14Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }

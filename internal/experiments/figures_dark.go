@@ -74,39 +74,52 @@ func Fig5() (*Fig5Result, error) {
 	return res, nil
 }
 
+// tablesFor builds the activity and peak-temperature tables of one TDP
+// half of the figure.
+func (r *Fig5Result) tablesFor(tdp float64) []*report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 5: %% active cores, 16 nm, TDP = %.0f W, TDTM = %.0f °C", tdp, r.TDTM),
+		Columns: append([]string{"app"}, floatHeaders(r.Freqs, "%.1f GHz")...),
+	}
+	perApp := map[string][]float64{}
+	var order []string
+	for _, c := range r.Cells[tdp] {
+		if _, ok := perApp[c.App]; !ok {
+			order = append(order, c.App)
+		}
+		perApp[c.App] = append(perApp[c.App], c.ActivePercent)
+	}
+	for _, app := range order {
+		t.AddFloatRow(app, 0, perApp[app]...)
+	}
+	pt := &report.Table{
+		Title:   fmt.Sprintf("Peak temperature at %.1f GHz (TDP = %.0f W)", r.Freqs[len(r.Freqs)-1], tdp),
+		Columns: []string{"app", "peak [°C]", "violates TDTM"},
+	}
+	for _, app := range order {
+		peak := r.PeakTemps[tdp][app]
+		pt.AddRow(app, fmt.Sprintf("%.1f", peak), fmt.Sprintf("%v", peak > r.TDTM))
+	}
+	pt.AddNote("max dark silicon at fmax: %.0f%%", 100*r.MaxDark[tdp])
+	return []*report.Table{t, pt}
+}
+
+// Tables implements Tabler.
+func (r *Fig5Result) Tables() []*report.Table {
+	var out []*report.Table
+	for _, tdp := range r.TDPs {
+		out = append(out, r.tablesFor(tdp)...)
+	}
+	return out
+}
+
 // Render implements Renderer.
 func (r *Fig5Result) Render(w io.Writer) error {
 	for _, tdp := range r.TDPs {
-		t := &report.Table{
-			Title:   fmt.Sprintf("Figure 5: %% active cores, 16 nm, TDP = %.0f W, TDTM = %.0f °C", tdp, r.TDTM),
-			Columns: append([]string{"app"}, floatHeaders(r.Freqs, "%.1f GHz")...),
-		}
-		perApp := map[string][]float64{}
-		var order []string
-		for _, c := range r.Cells[tdp] {
-			if _, ok := perApp[c.App]; !ok {
-				order = append(order, c.App)
-			}
-			perApp[c.App] = append(perApp[c.App], c.ActivePercent)
-		}
-		for _, app := range order {
-			t.AddFloatRow(app, 0, perApp[app]...)
-		}
-		if err := t.Render(w); err != nil {
+		if err := renderTables(w, r.tablesFor(tdp)); err != nil {
 			return err
 		}
-		pt := &report.Table{
-			Title:   fmt.Sprintf("Peak temperature at %.1f GHz (TDP = %.0f W)", r.Freqs[len(r.Freqs)-1], tdp),
-			Columns: []string{"app", "peak [°C]", "violates TDTM"},
-		}
-		for _, app := range order {
-			peak := r.PeakTemps[tdp][app]
-			pt.AddRow(app, fmt.Sprintf("%.1f", peak), fmt.Sprintf("%v", peak > r.TDTM))
-		}
-		if err := pt.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "max dark silicon at fmax: %.0f%%\n\n", 100*r.MaxDark[tdp])
+		fmt.Fprintln(w)
 	}
 	return nil
 }
@@ -176,24 +189,39 @@ func Fig6() (*Fig6Result, error) {
 	return res, nil
 }
 
+// tableFor builds one node's comparison table.
+func (r *Fig6Result) tableFor(node tech.Node) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Figure 6: dark silicon as TDP (%.0f W) vs temperature constraint, %s @ %.1f GHz",
+			r.TDPW, node, r.Freqs[node]),
+		Columns: []string{"app", "% active (TDP)", "% active (temp)", "dark reduction %"},
+	}
+	for _, row := range r.Rows[node] {
+		t.AddRow(row.App,
+			fmt.Sprintf("%.0f", row.ActiveTDP),
+			fmt.Sprintf("%.0f", row.ActiveTemp),
+			fmt.Sprintf("%.0f", row.DarkReduction))
+	}
+	t.AddNote("average dark-silicon reduction at %s: %.0f%%", node, r.AvgReduction[node])
+	return t
+}
+
+// Tables implements Tabler.
+func (r *Fig6Result) Tables() []*report.Table {
+	var out []*report.Table
+	for _, node := range r.Nodes {
+		out = append(out, r.tableFor(node))
+	}
+	return out
+}
+
 // Render implements Renderer.
 func (r *Fig6Result) Render(w io.Writer) error {
 	for _, node := range r.Nodes {
-		t := &report.Table{
-			Title: fmt.Sprintf("Figure 6: dark silicon as TDP (%.0f W) vs temperature constraint, %s @ %.1f GHz",
-				r.TDPW, node, r.Freqs[node]),
-			Columns: []string{"app", "% active (TDP)", "% active (temp)", "dark reduction %"},
-		}
-		for _, row := range r.Rows[node] {
-			t.AddRow(row.App,
-				fmt.Sprintf("%.0f", row.ActiveTDP),
-				fmt.Sprintf("%.0f", row.ActiveTemp),
-				fmt.Sprintf("%.0f", row.DarkReduction))
-		}
-		if err := t.Render(w); err != nil {
+		if err := r.tableFor(node).Render(w); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "average dark-silicon reduction at %s: %.0f%%\n\n", node, r.AvgReduction[node])
+		fmt.Fprintln(w)
 	}
 	return nil
 }
@@ -282,28 +310,43 @@ func Fig7() (*Fig7Result, error) {
 	return res, nil
 }
 
+// tableFor builds one node's scenario comparison.
+func (r *Fig7Result) tableFor(node tech.Node) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Figure 7: DVFS scenarios, %s, TDP = %.0f W (scenario 1: %.1f GHz, 8 threads)",
+			node, r.TDPW, r.Freqs[node]),
+		Columns: []string{"app", "S1 GIPS", "S2 GIPS", "S1 active %", "S2 active %", "S2 threads", "S2 GHz", "gain %"},
+	}
+	for _, row := range r.Rows[node] {
+		t.AddRow(row.App,
+			fmt.Sprintf("%.0f", row.Scenario1GIPS),
+			fmt.Sprintf("%.0f", row.Scenario2GIPS),
+			fmt.Sprintf("%.0f", row.Active1Percent),
+			fmt.Sprintf("%.0f", row.Active2Percent),
+			fmt.Sprintf("%d", row.Threads2),
+			fmt.Sprintf("%.1f", row.FGHz2),
+			fmt.Sprintf("%.0f", row.GainPercent))
+	}
+	t.AddNote("maximum performance gain at %s: %.0f%%", node, r.MaxGain[node])
+	return t
+}
+
+// Tables implements Tabler.
+func (r *Fig7Result) Tables() []*report.Table {
+	var out []*report.Table
+	for _, node := range r.Nodes {
+		out = append(out, r.tableFor(node))
+	}
+	return out
+}
+
 // Render implements Renderer.
 func (r *Fig7Result) Render(w io.Writer) error {
 	for _, node := range r.Nodes {
-		t := &report.Table{
-			Title: fmt.Sprintf("Figure 7: DVFS scenarios, %s, TDP = %.0f W (scenario 1: %.1f GHz, 8 threads)",
-				node, r.TDPW, r.Freqs[node]),
-			Columns: []string{"app", "S1 GIPS", "S2 GIPS", "S1 active %", "S2 active %", "S2 threads", "S2 GHz", "gain %"},
-		}
-		for _, row := range r.Rows[node] {
-			t.AddRow(row.App,
-				fmt.Sprintf("%.0f", row.Scenario1GIPS),
-				fmt.Sprintf("%.0f", row.Scenario2GIPS),
-				fmt.Sprintf("%.0f", row.Active1Percent),
-				fmt.Sprintf("%.0f", row.Active2Percent),
-				fmt.Sprintf("%d", row.Threads2),
-				fmt.Sprintf("%.1f", row.FGHz2),
-				fmt.Sprintf("%.0f", row.GainPercent))
-		}
-		if err := t.Render(w); err != nil {
+		if err := r.tableFor(node).Render(w); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "maximum performance gain at %s: %.0f%%\n\n", node, r.MaxGain[node])
+		fmt.Fprintln(w)
 	}
 	return nil
 }
@@ -387,8 +430,8 @@ func Fig8() (*Fig8Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig8Result) Render(w io.Writer) error {
+// Tables implements Tabler (the heatmap panels stay ASCII-only).
+func (r *Fig8Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Figure 8: dark silicon patterning (%s @16nm, %.1f GHz, TDTM = %.0f °C)",
 			r.App, r.FGHz, r.TDTM),
@@ -404,11 +447,16 @@ func (r *Fig8Result) Render(w io.Writer) error {
 		fmt.Sprintf("%.0f", r.PatternOK.PowerW),
 		fmt.Sprintf("%.1f", r.PatternOK.PeakC),
 		fmt.Sprintf("%v", r.PatternOK.PeakC > r.TDTM))
-	if err := t.Render(w); err != nil {
+	t.AddNote("max safe cores: contiguous %d vs patterned %d",
+		r.ContiguousMax, r.PatternedMax)
+	return []*report.Table{t}
+}
+
+// Render implements Renderer.
+func (r *Fig8Result) Render(w io.Writer) error {
+	if err := renderTables(w, r.Tables()); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "max safe cores: contiguous %d vs patterned %d\n",
-		r.ContiguousMax, r.PatternedMax)
 	// The figure's thermal-profile panels, on a shared colour scale.
 	if r.GridRows > 0 && len(r.ContigTemps) == r.GridRows*r.GridCols {
 		scaleLo, scaleHi := 60.0, 86.0
@@ -507,8 +555,8 @@ func Fig9() (*Fig9Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig9Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig9Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   fmt.Sprintf("Figure 9: TDPmap (%.0f W) vs DsRem (80 °C), 16 nm", r.TDPW),
 		Columns: []string{"mix", "TDPmap GIPS", "DsRem GIPS", "TDPmap active %", "DsRem active %", "speedup"},
@@ -521,12 +569,12 @@ func (r *Fig9Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.0f", row.DsRemActive),
 			fmt.Sprintf("%.2fx", row.SpeedupFactor))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "maximum DsRem speedup: %.2fx\n", r.MaxSpeedup)
-	return nil
+	t.AddNote("maximum DsRem speedup: %.2fx", r.MaxSpeedup)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig9Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // Fig10Row is one node of Figure 10.
 type Fig10Row struct {
@@ -607,8 +655,8 @@ func Fig10() (*Fig10Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig10Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig10Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Figure 10: overall performance under TSP across technology nodes",
 		Columns: []string{"node", "cores", "dark %", "active", "TSP/core [W]", "avg f [GHz]", "GIPS"},
@@ -622,18 +670,18 @@ func (r *Fig10Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.1f", row.AvgFGHz),
 			fmt.Sprintf("%.0f", row.TotalGIPS))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
 	if n := len(r.Rows); n >= 2 {
 		prev, last := r.Rows[n-2].TotalGIPS, r.Rows[n-1].TotalGIPS
 		if prev > 0 {
-			fmt.Fprintf(w, "performance increase %s -> %s: %.0f%%\n",
+			t.AddNote("performance increase %s -> %s: %.0f%%",
 				r.Rows[n-2].Node, r.Rows[n-1].Node, 100*(last-prev)/prev)
 		}
 	}
-	return nil
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig10Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // buildAppPlan places n cores of one app as 8-thread instances.
 func buildAppPlan(p *core.Platform, a apps.App, n int, fGHz float64, strat mapping.Strategy) (*mapping.Plan, error) {

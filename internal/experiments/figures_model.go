@@ -31,8 +31,8 @@ func Fig1() (*Fig1Result, error) {
 	return &Fig1Result{Specs: specs}, nil
 }
 
-// Render implements Renderer.
-func (r *Fig1Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig1Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Figure 1: ITRS scaling factors (w.r.t. 22 nm) and derived node specs",
 		Columns: []string{"node", "Vdd", "freq", "cap", "area", "core mm²", "Vdd nom [V]", "fmax [GHz]", "k [GHz·V]"},
@@ -50,8 +50,11 @@ func (r *Fig1Result) Render(w io.Writer) error {
 			fmt.Sprintf("%.2f", s.K),
 		)
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig1Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 // Fig2Result is the Eq.(2) frequency-vs-voltage design space at 22 nm with
 // its NTC/STC/Boost regions.
@@ -75,6 +78,23 @@ func Fig2() (*Fig2Result, error) {
 		res.Region = append(res.Region, curve.RegionOf(v))
 	}
 	return res, nil
+}
+
+// Tables implements Tabler: the design-space sweep in long form, one row
+// per sampled voltage.
+func (r *Fig2Result) Tables() []*report.Table {
+	t := &report.Table{
+		Title:   "Figure 2: frequency vs voltage (Eq. 2, 22 nm, k≈3.7 GHz·V, Vth=178 mV)",
+		Columns: []string{"Vdd [V]", "f [GHz]", "region"},
+	}
+	for i := range r.Vdd {
+		t.AddRow(fmt.Sprintf("%.2f", r.Vdd[i]),
+			fmt.Sprintf("%.3f", r.FGHz[i]),
+			r.Region[i].String())
+	}
+	t.AddNote("STC floor %.2f V, nominal %.2f V -> fmax %.2f GHz",
+		vf.STCFloorVolts, r.Curve.VddNominal, r.Curve.FmaxGHz)
+	return []*report.Table{t}
 }
 
 // Render implements Renderer.
@@ -137,6 +157,24 @@ func Fig3() (*Fig3Result, error) {
 	return res, nil
 }
 
+// Tables implements Tabler: every synthetic sample next to the model fit.
+func (r *Fig3Result) Tables() []*report.Table {
+	t := &report.Table{
+		Title:   "Figure 3: x264 @22nm, 1 thread — Eq.(1) model vs experimental samples",
+		Columns: []string{"f [GHz]", "Vdd [V]", "T [°C]", "experimental [W]", "model [W]"},
+	}
+	for i, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.2f", row.FGHz),
+			fmt.Sprintf("%.2f", row.Vdd),
+			fmt.Sprintf("%.1f", row.TempC),
+			fmt.Sprintf("%.3f", row.PowerW),
+			fmt.Sprintf("%.3f", r.ModelW[i]))
+	}
+	t.AddNote("fit: Ceff=%.3f nF, Pind=%.3f W, RMS error %.3f W over %d samples",
+		r.CeffNF, r.PindW, r.RMSErrorW, len(r.Rows))
+	return []*report.Table{t}
+}
+
 // Render implements Renderer.
 func (r *Fig3Result) Render(w io.Writer) error {
 	c := &report.Chart{
@@ -184,8 +222,8 @@ func Fig4() (*Fig4Result, error) {
 	return res, nil
 }
 
-// Render implements Renderer.
-func (r *Fig4Result) Render(w io.Writer) error {
+// Tables implements Tabler.
+func (r *Fig4Result) Tables() []*report.Table {
 	t := &report.Table{
 		Title:   "Figure 4: speed-up vs parallel threads (Amdahl, gem5-calibrated fractions)",
 		Columns: append([]string{"app"}, intHeaders(r.Threads)...),
@@ -193,8 +231,11 @@ func (r *Fig4Result) Render(w io.Writer) error {
 	for _, name := range r.Apps {
 		t.AddFloatRow(name, 2, r.Speedup[name]...)
 	}
-	return t.Render(w)
+	return []*report.Table{t}
 }
+
+// Render implements Renderer.
+func (r *Fig4Result) Render(w io.Writer) error { return renderTables(w, r.Tables()) }
 
 func intHeaders(xs []int) []string {
 	out := make([]string, len(xs))

@@ -13,15 +13,40 @@ import (
 	"strings"
 )
 
-// Table is a titled grid of string cells.
+// Table is a titled grid of string cells. The exported fields marshal
+// directly to JSON, which is how the service layer and `darksim -format
+// json` ship experiment results to machine consumers.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// Notes are free-form summary lines that belong with the table (the
+	// "max dark silicon at fmax: 37%" style conclusions the paper prints
+	// under its figures). Render emits them after the grid, one per line.
+	Notes []string `json:"notes,omitempty"`
 }
 
-// ErrShape is returned when rows do not match the column count.
+// ErrShape is returned when rows do not match the column count, or when
+// a table has no columns at all.
 var ErrShape = errors.New("report: row length does not match columns")
+
+// AddNote appends a formatted summary line to the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// check validates the grid shape shared by Render and WriteCSV.
+func (t *Table) check() error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("%w: table %q has no columns", ErrShape, t.Title)
+	}
+	for _, r := range t.Rows {
+		if len(r) != len(t.Columns) {
+			return fmt.Errorf("%w: got %d cells, want %d", ErrShape, len(r), len(t.Columns))
+		}
+	}
+	return nil
+}
 
 // AddRow appends a row of already-formatted cells.
 func (t *Table) AddRow(cells ...string) {
@@ -39,12 +64,10 @@ func (t *Table) AddFloatRow(label string, precision int, values ...float64) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Render writes the table with aligned columns.
+// Render writes the table with aligned columns, followed by its notes.
 func (t *Table) Render(w io.Writer) error {
-	for _, r := range t.Rows {
-		if len(r) != len(t.Columns) {
-			return fmt.Errorf("%w: got %d cells, want %d", ErrShape, len(r), len(t.Columns))
-		}
+	if err := t.check(); err != nil {
+		return err
 	}
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
@@ -79,15 +102,17 @@ func (t *Table) Render(w io.Writer) error {
 	for _, r := range t.Rows {
 		writeRow(r)
 	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(bw, n)
+	}
 	return bw.Flush()
 }
 
-// WriteCSV emits the table as CSV (no title).
+// WriteCSV emits the table as CSV (no title, no notes). A zero-column
+// table is an ErrShape error rather than a lone empty header line.
 func (t *Table) WriteCSV(w io.Writer) error {
-	for _, r := range t.Rows {
-		if len(r) != len(t.Columns) {
-			return fmt.Errorf("%w: got %d cells, want %d", ErrShape, len(r), len(t.Columns))
-		}
+	if err := t.check(); err != nil {
+		return err
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.Columns); err != nil {

@@ -2,6 +2,8 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -40,6 +42,55 @@ func TestTableRenderShapeError(t *testing.T) {
 	}
 	if err := tb.WriteCSV(&bytes.Buffer{}); err == nil {
 		t.Errorf("mismatched row should error in CSV too")
+	}
+}
+
+func TestTableRenderNotes(t *testing.T) {
+	tb := &Table{Columns: []string{"a"}}
+	tb.AddRow("1")
+	tb.AddNote("max dark silicon at fmax: %d%%", 37)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "max dark silicon at fmax: 37%\n") {
+		t.Errorf("note not rendered after grid:\n%s", buf.String())
+	}
+}
+
+func TestTableZeroColumns(t *testing.T) {
+	tb := &Table{Title: "empty"}
+	if err := tb.WriteCSV(&bytes.Buffer{}); !errors.Is(err, ErrShape) {
+		t.Errorf("zero-column CSV: got %v, want ErrShape", err)
+	}
+	if err := tb.Render(&bytes.Buffer{}); !errors.Is(err, ErrShape) {
+		t.Errorf("zero-column Render: got %v, want ErrShape", err)
+	}
+	// A zero-column table with rows is equally malformed.
+	tb.Rows = [][]string{{"cell"}}
+	if err := tb.WriteCSV(&bytes.Buffer{}); !errors.Is(err, ErrShape) {
+		t.Errorf("zero-column CSV with rows: got %v, want ErrShape", err)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}, Notes: []string{"n"}}
+	tb.AddRow("1", "2")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title":"T"`, `"columns":["a","b"]`, `"rows":[["1","2"]]`, `"notes":["n"]`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s: %s", want, data)
+		}
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tb.Title || len(back.Rows) != 1 || back.Rows[0][1] != "2" {
+		t.Errorf("round-trip mismatch: %+v", back)
 	}
 }
 

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// cacheEntry is one cached result with its expiry deadline.
+type cacheEntry struct {
+	key     string
+	res     *Result
+	expires time.Time
+}
+
+// resultCache is a bounded LRU with per-entry TTL. Results are expensive
+// (a figure can take minutes of Cholesky-backed simulation) and immutable
+// once computed, so a small cache absorbs most of a hot figure's traffic.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int           // max entries; <= 0 disables caching
+	ttl     time.Duration // <= 0 means entries never expire
+	now     func() time.Time
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	items   map[string]*list.Element
+	metrics *Metrics
+}
+
+func newResultCache(capacity int, ttl time.Duration, now func() time.Time, m *Metrics) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		ttl:     ttl,
+		now:     now,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		metrics: m,
+	}
+}
+
+// get returns the live cached result for key, removing it if expired.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.metrics.CacheExpired.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.res, true
+}
+
+// put stores the result, evicting the least recently used entry beyond
+// the capacity.
+func (c *resultCache) put(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.res, e.expires = res, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, expires: expires})
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// len reports the current number of entries (including not-yet-reaped
+// expired ones).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	delete(c.items, el.Value.(*cacheEntry).key)
+	c.ll.Remove(el)
+}

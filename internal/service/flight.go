@@ -1,0 +1,46 @@
+package service
+
+import "sync"
+
+// call is one in-flight computation that any number of requests wait on.
+type call struct {
+	done chan struct{} // closed when res/err are set
+	res  *Result
+	err  error
+}
+
+// flightGroup coalesces duplicate requests: while a computation for a key
+// is in flight, later requests for the same key join it instead of
+// starting their own (singleflight). Unlike a cache, entries live only as
+// long as the computation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// join returns the call for key and whether the caller became its leader
+// (and therefore must run the computation and complete the call).
+func (g *flightGroup) join(key string) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the outcome and wakes every waiter. It must be
+// called exactly once per leader, after which new requests for the key
+// start a fresh flight (typically served from the cache instead).
+func (g *flightGroup) complete(key string, c *call, res *Result, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the compute
+// latency histogram; an implicit +Inf bucket catches the rest.
+var latencyBucketsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}
+
+// Metrics holds the server's expvar-style counters. All fields are
+// monotonic atomics except InFlight (a gauge); /metrics serves a JSON
+// snapshot.
+type Metrics struct {
+	Requests       atomic.Int64 // HTTP requests received
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	CacheExpired   atomic.Int64
+	Computes       atomic.Int64 // underlying experiment computations started
+	ComputeErrors  atomic.Int64
+	Coalesced      atomic.Int64 // waiters that joined an in-flight compute
+	InFlight       atomic.Int64 // computations currently running
+
+	latencyCount [10]atomic.Int64 // len(latencyBucketsMS)+1
+	latencySumUS atomic.Int64     // total compute time, microseconds
+}
+
+// observe records one compute latency.
+func (m *Metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	m.latencyCount[i].Add(1)
+	m.latencySumUS.Add(d.Microseconds())
+}
+
+// Bucket is one histogram cell of the snapshot: the count of computes
+// with latency <= LE milliseconds (LE = 0 marks the +Inf bucket).
+type Bucket struct {
+	LE    float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot is the marshalable state served by /metrics.
+type Snapshot struct {
+	Requests int64 `json:"requests"`
+	Cache    struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Expired   int64 `json:"expired"`
+		Size      int   `json:"size"`
+	} `json:"cache"`
+	Compute struct {
+		Count            int64    `json:"count"`
+		Errors           int64    `json:"errors"`
+		InFlight         int64    `json:"inflight"`
+		CoalescedWaiters int64    `json:"coalesced_waiters"`
+		TotalMS          float64  `json:"total_ms"`
+		LatencyMS        []Bucket `json:"latency_ms_buckets"`
+	} `json:"compute"`
+}
+
+// snapshot captures the counters; cacheSize is sampled by the caller.
+func (m *Metrics) snapshot(cacheSize int) Snapshot {
+	var s Snapshot
+	s.Requests = m.Requests.Load()
+	s.Cache.Hits = m.CacheHits.Load()
+	s.Cache.Misses = m.CacheMisses.Load()
+	s.Cache.Evictions = m.CacheEvictions.Load()
+	s.Cache.Expired = m.CacheExpired.Load()
+	s.Cache.Size = cacheSize
+	s.Compute.Count = m.Computes.Load()
+	s.Compute.Errors = m.ComputeErrors.Load()
+	s.Compute.InFlight = m.InFlight.Load()
+	s.Compute.CoalescedWaiters = m.Coalesced.Load()
+	s.Compute.TotalMS = float64(m.latencySumUS.Load()) / 1000
+	for i := range m.latencyCount {
+		b := Bucket{Count: m.latencyCount[i].Load()}
+		if i < len(latencyBucketsMS) {
+			b.LE = latencyBucketsMS[i]
+		}
+		s.Compute.LatencyMS = append(s.Compute.LatencyMS, b)
+	}
+	return s
+}
