@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-shuffle race bench experiments ablations serve clean
+.PHONY: all check build vet test test-short test-shuffle race bench fuzz-smoke verify golden experiments ablations serve clean
 
 all: check
 
 # check is the tier-1 gate: build, vet, tests (also in shuffled order, to
-# catch inter-test state leaks), and the race detector over the parallel
-# sweep paths.
-check: build vet test test-shuffle race
+# catch inter-test state leaks), the race detector over the parallel
+# sweep paths, and a short smoke run of every fuzz target.
+check: build vet test test-shuffle race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,28 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short runs of the native fuzz targets ("go test -fuzz" takes exactly
+# one target per invocation); full fuzzing uses longer -fuzztime.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzVoltageForFrequency -fuzztime=$(FUZZTIME) -run='^$$' ./internal/vf
+	$(GO) test -fuzz=FuzzTableCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/report
+	$(GO) test -fuzz=FuzzServiceParams -fuzztime=$(FUZZTIME) -run='^$$' ./internal/service
+
+# The golden-corpus verification gate: recompute every figure and check
+# it against the embedded corpus, the paper's physics invariants and the
+# differential renderings, then run the repeat/raced/shuffled test modes
+# that catch state leaking through the platform LRU cache.
+verify:
+	$(GO) vet ./...
+	$(GO) run ./cmd/darksim verify
+	$(GO) test -race -shuffle=on ./...
+	$(GO) test -count=2 ./internal/experiments ./internal/service
+
+# Regenerate the golden corpus after an intentional model change.
+golden:
+	$(GO) run ./cmd/darksim verify -update
 
 # Regenerate every table/figure of the paper (full durations).
 experiments:

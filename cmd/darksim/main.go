@@ -10,6 +10,8 @@
 //	darksim -parallel 4 all      # run 4 figures concurrently
 //	darksim -timeout 10m all     # abort a run that exceeds 10 minutes
 //	darksim -format json fig1    # structured output (report.Table JSON)
+//	darksim verify               # check figures against the golden corpus
+//	darksim verify -update       # regenerate the golden corpus
 //
 // Transient experiments (fig11–fig13) default to the paper's run lengths;
 // -duration trades fidelity for speed. With `all` and `ablations` the
@@ -33,6 +35,7 @@ import (
 	"darksim/internal/experiments"
 	"darksim/internal/report"
 	"darksim/internal/runner"
+	"darksim/internal/verify"
 )
 
 // output is one experiment's result in either representation: rendered
@@ -51,7 +54,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if len(args) != 1 || (*format != "text" && *format != "json") {
+	if len(args) == 0 || (len(args) != 1 && args[0] != "verify") || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
 	}
@@ -62,6 +65,12 @@ func main() {
 		defer cancel()
 	}
 	switch args[0] {
+	case "verify":
+		if err := runVerify(ctx, args[1:], *parallel, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "list":
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
@@ -85,6 +94,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runVerify parses the verify subcommand's own flags and runs the
+// three-layer verification pipeline, returning an error naming the
+// failing figure/cell when any check fails.
+func runVerify(ctx context.Context, args []string, parallel int, w io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	update := fs.Bool("update", false, "regenerate the golden corpus instead of checking it")
+	golden := fs.String("golden", experiments.GoldenDir, "directory -update writes golden files to")
+	figs := fs.String("figs", "", "comma-separated figure subset, e.g. fig1,fig5 (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("verify takes no positional arguments")
+	}
+	opt := verify.Options{
+		Update:    *update,
+		GoldenDir: *golden,
+		Workers:   parallel,
+		Out:       w,
+	}
+	if *figs != "" {
+		for _, id := range strings.Split(*figs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opt.Figures = append(opt.Figures, id)
+			}
+		}
+	}
+	fails, err := verify.Run(ctx, opt)
+	if err != nil {
+		return err
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(w, "FAIL %s\n", f)
+		}
+		return fmt.Errorf("verification failed: %d check(s)", len(fails))
+	}
+	if !*update {
+		fmt.Fprintln(w, "verify: all checks passed")
+	}
+	return nil
 }
 
 // runAll runs every experiment with up to `parallel` running concurrently
@@ -243,10 +300,14 @@ func run(ctx context.Context, id string, duration float64) (experiments.Renderer
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] [-format text|json] <experiment|all|ablations|list>
+       darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of
-this implementation's design choices.
+this implementation's design choices. `+"`darksim verify`"+` recomputes
+every figure and checks it against the embedded golden corpus, the
+paper's physics invariants, and differential text/CSV/JSON/HTTP
+renderings.
 
 `)
 	flag.PrintDefaults()

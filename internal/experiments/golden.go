@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"embed"
+	"io/fs"
+)
+
+// goldenFS embeds the golden corpus: one canonical JSON table set per
+// figure, regenerated with `darksim verify -update`. Embedding (rather
+// than reading testdata at run time) lets `darksim verify` pin the
+// paper's numbers from any working directory, including deployed
+// binaries.
+//
+//go:embed testdata/golden
+var goldenFS embed.FS
+
+// GoldenDir is the repository-relative location of the corpus, where
+// `darksim verify -update` writes regenerated files.
+const GoldenDir = "internal/experiments/testdata/golden"
+
+// GoldenCorpus returns the embedded golden corpus rooted at the corpus
+// directory (fig1.json … fig14.json plus a README).
+func GoldenCorpus() fs.FS {
+	sub, err := fs.Sub(goldenFS, "testdata/golden")
+	if err != nil {
+		// The embedded path is fixed at compile time; failing here means
+		// the embed directive itself changed incompatibly.
+		panic(err)
+	}
+	return sub
+}

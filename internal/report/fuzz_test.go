@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sanitizeCSVCell removes carriage returns from fuzzed cell content:
+// encoding/csv normalizes \r\n to \n inside quoted fields on read (an
+// RFC 4180 line-ending equivalence, not data loss), which would make a
+// byte-exact round-trip comparison flag correct behavior.
+func sanitizeCSVCell(s string) string {
+	return strings.ReplaceAll(s, "\r", "")
+}
+
+// FuzzTableCSV asserts WriteCSV/ReadCSV round-trip every table whose
+// cells and notes may contain commas, quotes and newlines — the RFC 4180
+// escaping contract the differential checks in internal/verify rely on.
+func FuzzTableCSV(f *testing.F) {
+	f.Add("app", "value", "a,b", `say "hi"`, "two\nlines", "note, with comma")
+	f.Add("x", "y", "", "", "", "")
+	f.Add("n", "v", ",,,", `""`, "\n", `"`)
+	f.Fuzz(func(t *testing.T, col1, col2, c1, c2, c3, note string) {
+		tb := &Table{Columns: []string{sanitizeCSVCell(col1), sanitizeCSVCell(col2)}}
+		tb.AddRow(sanitizeCSVCell(c1), sanitizeCSVCell(c2))
+		tb.AddRow(sanitizeCSVCell(c3), "1.0")
+		if n := sanitizeCSVCell(note); n != "" {
+			// Notes re-read via the NotePrefix convention; an empty note
+			// would be indistinguishable from an empty single-cell row in
+			// a one-column table and is not produced by any experiment.
+			tb.AddNote("%s", n)
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadCSV: %v\ncsv:\n%q", err, buf.String())
+		}
+		if !reflect.DeepEqual(got.Columns, tb.Columns) {
+			t.Errorf("columns corrupted: got %q want %q (csv %q)", got.Columns, tb.Columns, buf.String())
+		}
+		if !reflect.DeepEqual(got.Rows, tb.Rows) {
+			t.Errorf("rows corrupted: got %q want %q (csv %q)", got.Rows, tb.Rows, buf.String())
+		}
+		if len(got.Notes) != len(tb.Notes) {
+			t.Fatalf("note count: got %d want %d (csv %q)", len(got.Notes), len(tb.Notes), buf.String())
+		}
+		for i := range tb.Notes {
+			if got.Notes[i] != tb.Notes[i] {
+				t.Errorf("note %d corrupted: got %q want %q", i, got.Notes[i], tb.Notes[i])
+			}
+		}
+	})
+}

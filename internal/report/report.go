@@ -108,8 +108,17 @@ func (t *Table) Render(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteCSV emits the table as CSV (no title, no notes). A zero-column
-// table is an ErrShape error rather than a lone empty header line.
+// NotePrefix marks a note record in CSV output: notes are emitted as
+// single-field records "# <note>" after the data rows, so a CSV file
+// carries the same content as the JSON and text renderings.
+const NotePrefix = "# "
+
+// WriteCSV emits the table as RFC 4180 CSV: one header record, one record
+// per row, then each note as a single-field record prefixed NotePrefix.
+// Every field goes through encoding/csv, so cells or notes containing
+// commas, quotes or newlines are quoted rather than corrupting the
+// column count. A zero-column table is an ErrShape error rather than a
+// lone empty header line.
 func (t *Table) WriteCSV(w io.Writer) error {
 	if err := t.check(); err != nil {
 		return err
@@ -121,8 +130,41 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	if err := cw.WriteAll(t.Rows); err != nil {
 		return err
 	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{NotePrefix + n}); err != nil {
+			return err
+		}
+	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ReadCSV parses WriteCSV output back into the table's columns, rows and
+// notes — the inverse used by the verification subsystem's differential
+// checks. Records keep their RFC 4180 unescaping from encoding/csv;
+// single-field records carrying NotePrefix after the header are notes.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // note records are narrower than data rows
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: empty CSV", ErrShape)
+	}
+	t := &Table{Columns: recs[0]}
+	for _, rec := range recs[1:] {
+		if len(rec) == 1 && strings.HasPrefix(rec[0], NotePrefix) {
+			t.Notes = append(t.Notes, strings.TrimPrefix(rec[0], NotePrefix))
+			continue
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Chart renders one or more (x, y) series as a fixed-size ASCII chart —

@@ -325,6 +325,13 @@ func (s *Server) runFlight(key, id string, params map[string]string, c *call, fn
 // the CLI's -duration flag.
 var transientFigures = map[string]bool{"fig11": true, "fig12": true, "fig13": true}
 
+// maxTSPCores caps the platform size /v1/tsp will build. Platform
+// construction allocates thermal-model state quadratic in the core
+// count, so an unbounded query parameter would let one request exhaust
+// memory; the paper's largest platform (8 nm) has 361 cores, far below
+// this limit.
+const maxTSPCores = 1024
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.order)
 }
@@ -401,8 +408,8 @@ func (s *Server) handleTSP(w http.ResponseWriter, r *http.Request) {
 	}
 	cores := experiments.CoresForNode(node)
 	if v := q.Get("cores"); v != "" {
-		if cores, err = strconv.Atoi(v); err != nil || cores <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid cores %q: want a positive integer", v))
+		if cores, err = strconv.Atoi(v); err != nil || cores <= 0 || cores > maxTSPCores {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid cores %q: want an integer in [1,%d]", v, maxTSPCores))
 			return
 		}
 	}

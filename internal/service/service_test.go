@@ -484,3 +484,130 @@ func TestComputeErrorNotCached(t *testing.T) {
 		t.Fatalf("second request: status %d, want 200 (errors must not be cached)", code)
 	}
 }
+
+// TestCloseDuringCoalescedInflight pins the drain contract when several
+// requests are coalesced onto one in-flight computation as Close begins:
+// every waiter gets the completed result, the drain waits for the flight,
+// and requests arriving after the drain are rejected.
+func TestCloseDuringCoalescedInflight(t *testing.T) {
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	s := New(Config{Workers: 2}, []experiments.Experiment{
+		fakeExp("figslow", &computes, gate),
+		fakeExp("figprobe", &computes, nil),
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const waiters = 4
+	type reply struct {
+		code   int
+		source string
+	}
+	replies := make(chan reply, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			code, _, hdr := get(t, ts, "/v1/experiments/figslow")
+			replies <- reply{code, hdr.Get(cacheHeader)}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for computes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compute never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close(context.Background()) }()
+	// Close must drain, not drop: while the flight is gated it cannot
+	// return.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned before the in-flight computation finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the flight: every coalesced waiter must complete with 200.
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// With the drain complete, uncached requests are rejected.
+	if code, body, _ := get(t, ts, "/v1/experiments/figprobe"); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain request: status %d body %s, want 503", code, body)
+	}
+	sources := map[string]int{}
+	for i := 0; i < waiters; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Errorf("waiter got status %d, want 200", r.code)
+		}
+		sources[r.source]++
+	}
+	if sources["miss"] != 1 || sources["miss"]+sources["coalesced"] != waiters {
+		t.Errorf("cache sources = %v, want 1 miss and %d coalesced", sources, waiters-1)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computes = %d, want 1 (coalesced)", got)
+	}
+}
+
+// TestErrOptionsMapsTo400 pins the error mapping for a valid experiment
+// name whose option combination the experiment itself rejects: the
+// ErrOptions sentinel must surface as 400, not 500.
+func TestErrOptionsMapsTo400(t *testing.T) {
+	exp := experiments.Experiment{
+		ID:          "figopt",
+		Description: "always rejects its options",
+		Run: func(ctx context.Context) (experiments.Renderer, error) {
+			return nil, fmt.Errorf("%w: figopt: 0 instances", experiments.ErrOptions)
+		},
+	}
+	s := New(Config{}, []experiments.Experiment{exp})
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/v1/experiments/figopt")
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", code, body)
+	}
+	if !strings.Contains(body, "invalid options") {
+		t.Errorf("error body should carry the options error: %s", body)
+	}
+	if s.Metrics().ComputeErrors.Load() != 1 {
+		t.Errorf("compute errors = %d, want 1", s.Metrics().ComputeErrors.Load())
+	}
+
+	// A duration override on a non-transient figure is the same class of
+	// client error and must also be 400.
+	code, body, _ = get(t, ts, "/v1/experiments/figopt?duration=5")
+	if code != http.StatusBadRequest || !strings.Contains(body, "transient") {
+		t.Errorf("duration on non-transient: status %d body %s, want 400", code, body)
+	}
+}
+
+// TestTSPCoresBounded pins the /v1/tsp request-size guard: platform
+// construction cost grows quadratically with cores, so the endpoint must
+// reject sizes above maxTSPCores as a client error instead of building
+// them.
+func TestTSPCoresBounded(t *testing.T) {
+	s := New(Config{}, nil)
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/v1/tsp?node=16nm&cores=1000000&active=1")
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", code, body)
+	}
+	if !strings.Contains(body, "1024") {
+		t.Errorf("error should state the bound: %s", body)
+	}
+	if code, _, _ := get(t, ts, "/v1/tsp?node=16nm&cores=0&active=1"); code != http.StatusBadRequest {
+		t.Errorf("cores=0: status %d, want 400", code)
+	}
+}

@@ -1,0 +1,186 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"darksim/internal/report"
+)
+
+// Tolerance is the per-cell comparison budget for one golden file.
+// A numeric cell matches when |got − want| ≤ Abs + Rel·|want|; the
+// defaults are tight enough that flipping the last printed digit of any
+// ITRS factor or Eq.(2) constant fails, while cross-machine float churn
+// below the printed precision passes.
+type Tolerance struct {
+	Abs float64 `json:"abs"`
+	Rel float64 `json:"rel"`
+}
+
+// DefaultTolerance is written into regenerated golden files; individual
+// files can be hand-tuned afterwards if a figure needs a looser budget.
+var DefaultTolerance = Tolerance{Abs: 1e-6, Rel: 2e-3}
+
+// GoldenFile is the schema of one corpus entry: the canonical tables of
+// a figure plus the options they were computed under and the tolerance
+// they are compared with.
+type GoldenFile struct {
+	ID        string            `json:"id"`
+	Options   map[string]string `json:"options,omitempty"`
+	Tolerance Tolerance         `json:"tolerance"`
+	Tables    []*report.Table   `json:"tables"`
+}
+
+// loadGolden reads one figure's corpus entry from the (usually embedded)
+// corpus file system.
+func loadGolden(fsys fs.FS, id string) (*GoldenFile, error) {
+	data, err := fs.ReadFile(fsys, id+".json")
+	if err != nil {
+		return nil, fmt.Errorf("golden corpus for %s: %w (regenerate with `darksim verify -update`)", id, err)
+	}
+	var g GoldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("golden corpus for %s: %w", id, err)
+	}
+	if g.ID != id {
+		return nil, fmt.Errorf("golden corpus for %s: file declares id %q", id, g.ID)
+	}
+	return &g, nil
+}
+
+// writeGolden writes one corpus entry under dir as indented JSON.
+func writeGolden(dir string, g *GoldenFile) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, g.ID+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// numericSuffixes are unit decorations the cell formatter appends; they
+// are stripped symmetrically before a numeric comparison ("2.17x",
+// "37%").
+var numericSuffixes = []string{"x", "%"}
+
+// parseNumeric extracts the numeric value of a formatted cell, reporting
+// whether the cell is numeric at all.
+func parseNumeric(s string) (float64, bool) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, true
+	}
+	for _, suf := range numericSuffixes {
+		if rest, ok := strings.CutSuffix(s, suf); ok {
+			if v, err := strconv.ParseFloat(rest, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// cellClose compares one formatted cell against its golden value: exact
+// match, or numeric match within tolerance when both sides parse.
+func cellClose(got, want string, tol Tolerance) bool {
+	if got == want {
+		return true
+	}
+	gv, ok1 := parseNumeric(got)
+	wv, ok2 := parseNumeric(want)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return math.Abs(gv-wv) <= tol.Abs+tol.Rel*math.Abs(wv)
+}
+
+// noteClose compares free-form note lines token by token so embedded
+// numbers get the same tolerance as table cells ("max dark silicon at
+// fmax: 37%").
+func noteClose(got, want string, tol Tolerance) bool {
+	if got == want {
+		return true
+	}
+	gt, wt := strings.Fields(got), strings.Fields(want)
+	if len(gt) != len(wt) {
+		return false
+	}
+	for i := range gt {
+		if !cellClose(strings.Trim(gt[i], "(),:"), strings.Trim(wt[i], "(),:"), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// compareToGolden diffs the recomputed tables of one figure against its
+// corpus entry, naming every mismatched cell.
+func compareToGolden(id string, got []*report.Table, g *GoldenFile) []Failure {
+	var fails []Failure
+	fail := func(detail string, args ...any) {
+		fails = append(fails, Failure{Figure: id, Check: "golden", Detail: fmt.Sprintf(detail, args...)})
+	}
+	if len(got) != len(g.Tables) {
+		fail("table count: got %d, corpus has %d", len(got), len(g.Tables))
+		return fails
+	}
+	tol := g.Tolerance
+	for ti, gt := range got {
+		want := g.Tables[ti]
+		name := want.Title
+		if name == "" {
+			name = fmt.Sprintf("table %d", ti+1)
+		}
+		if !noteClose(gt.Title, want.Title, tol) {
+			fail("%s: title: got %q, want %q", name, gt.Title, want.Title)
+			continue
+		}
+		if len(gt.Columns) != len(want.Columns) {
+			fail("%s: column count: got %d, want %d", name, len(gt.Columns), len(want.Columns))
+			continue
+		}
+		for ci := range want.Columns {
+			if gt.Columns[ci] != want.Columns[ci] {
+				fail("%s: column %d: got %q, want %q", name, ci+1, gt.Columns[ci], want.Columns[ci])
+			}
+		}
+		if len(gt.Rows) != len(want.Rows) {
+			fail("%s: row count: got %d, want %d", name, len(gt.Rows), len(want.Rows))
+			continue
+		}
+		for ri := range want.Rows {
+			for ci := range want.Rows[ri] {
+				if ci >= len(gt.Rows[ri]) {
+					fail("%s: row %d: got %d cells, want %d", name, ri+1, len(gt.Rows[ri]), len(want.Rows[ri]))
+					break
+				}
+				if !cellClose(gt.Rows[ri][ci], want.Rows[ri][ci], tol) {
+					col := fmt.Sprintf("%d", ci+1)
+					if ci < len(want.Columns) {
+						col = fmt.Sprintf("%d (%s)", ci+1, want.Columns[ci])
+					}
+					fail("%s: row %d, col %s: got %q, want %q (tol abs %g rel %g)",
+						name, ri+1, col, gt.Rows[ri][ci], want.Rows[ri][ci], tol.Abs, tol.Rel)
+				}
+			}
+		}
+		if len(gt.Notes) != len(want.Notes) {
+			fail("%s: note count: got %d, want %d", name, len(gt.Notes), len(want.Notes))
+			continue
+		}
+		for ni := range want.Notes {
+			if !noteClose(gt.Notes[ni], want.Notes[ni], tol) {
+				fail("%s: note %d: got %q, want %q", name, ni+1, gt.Notes[ni], want.Notes[ni])
+			}
+		}
+	}
+	return fails
+}

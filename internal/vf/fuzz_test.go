@@ -1,0 +1,61 @@
+package vf
+
+import (
+	"math"
+	"testing"
+
+	"darksim/internal/tech"
+)
+
+// FuzzVoltageForFrequency pins the Eq.(2) inverse: for any frequency the
+// solver either errors cleanly or returns a voltage strictly above Vth
+// that round-trips through FrequencyGHz within tolerance. This is the
+// contract every ladder, DVFS controller and TSP budget in the repo rests
+// on; a drifting k or Vth breaks it immediately.
+func FuzzVoltageForFrequency(f *testing.F) {
+	f.Add(0, 1.0)
+	f.Add(1, 3.6)
+	f.Add(2, 0.001)
+	f.Add(3, 4.4)
+	f.Add(0, -2.0)
+	f.Add(1, math.Inf(1))
+	f.Add(2, math.NaN())
+	f.Fuzz(func(t *testing.T, nodeIdx int, fGHz float64) {
+		nodes := tech.Nodes()
+		if nodeIdx < 0 {
+			nodeIdx = -nodeIdx
+		}
+		if nodeIdx < 0 { // math.MinInt negates to itself
+			nodeIdx = 0
+		}
+		c, err := CurveFor(nodes[nodeIdx%len(nodes)])
+		if err != nil {
+			t.Fatalf("CurveFor: %v", err)
+		}
+		v, err := c.VoltageFor(fGHz)
+		if err != nil {
+			// Non-positive, NaN and infeasible frequencies must error,
+			// never panic — and must not leak a voltage.
+			if v != 0 {
+				t.Errorf("VoltageFor(%g) errored but returned v=%g", fGHz, v)
+			}
+			return
+		}
+		if fGHz <= 0 || math.IsNaN(fGHz) {
+			t.Fatalf("VoltageFor(%g) accepted a non-positive frequency (v=%g)", fGHz, v)
+		}
+		if v <= c.Vth {
+			t.Fatalf("VoltageFor(%g) = %g V at or below Vth=%g V", fGHz, v, c.Vth)
+		}
+		// The quadratic loses precision once f·V overflows toward +Inf;
+		// physical frequencies are single-digit GHz, so bound the
+		// round-trip check far above any real operating point.
+		if fGHz > 1e8 {
+			return
+		}
+		back := c.FrequencyGHz(v)
+		if diff := math.Abs(back - fGHz); diff > 1e-6*fGHz+1e-12 {
+			t.Errorf("round-trip drift: f=%g GHz -> V=%g -> f=%g (diff %g)", fGHz, v, back, diff)
+		}
+	})
+}

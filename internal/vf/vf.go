@@ -77,8 +77,8 @@ func (c Curve) FrequencyGHz(vdd float64) float64 {
 // whose larger root is the operating voltage (the smaller root lies below
 // Vth and is non-physical). fGHz must be positive.
 func (c Curve) VoltageFor(fGHz float64) (float64, error) {
-	if fGHz <= 0 {
-		return 0, fmt.Errorf("vf: VoltageFor(%g GHz): frequency must be positive", fGHz)
+	if fGHz <= 0 || math.IsNaN(fGHz) || math.IsInf(fGHz, 1) {
+		return 0, fmt.Errorf("vf: VoltageFor(%g GHz): frequency must be positive and finite", fGHz)
 	}
 	a := c.K
 	b := -(2*c.K*c.Vth + fGHz)
