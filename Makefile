@@ -2,14 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-shuffle race bench fuzz-smoke verify golden experiments ablations serve clean
+.PHONY: all check build vet test test-short test-shuffle race bench bench-report bench-smoke fuzz-smoke verify golden experiments ablations serve clean
 
 all: check
 
 # check is the tier-1 gate: build, vet, tests (also in shuffled order, to
 # catch inter-test state leaks), the race detector over the parallel
-# sweep paths, and a short smoke run of every fuzz target.
-check: build vet test test-shuffle race fuzz-smoke
+# sweep paths, a short smoke run of every fuzz target, and a one-shot run
+# of the dense-vs-sparse solver benchmarks so a broken bench path fails
+# the gate.
+check: build vet test test-shuffle race fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +39,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The perf-trajectory harness: per-figure + dense-vs-sparse solver
+# benchmarks, written as one JSON report for cross-PR comparison.
+BENCH_OUT ?= BENCH_PR5.json
+bench-report:
+	$(GO) run ./cmd/darksim bench -out $(BENCH_OUT)
+
+# One iteration of the thermal-solve benchmarks keeps the bench path
+# compiling and running under the tier-1 gate without paying full
+# benchmark time.
+bench-smoke:
+	$(GO) test -bench=ThermalSolve -benchtime=1x -run='^$$' ./internal/thermal
+
 # Short runs of the native fuzz targets ("go test -fuzz" takes exactly
 # one target per invocation); full fuzzing uses longer -fuzztime.
 FUZZTIME ?= 5s
@@ -44,6 +58,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzVoltageForFrequency -fuzztime=$(FUZZTIME) -run='^$$' ./internal/vf
 	$(GO) test -fuzz=FuzzTableCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/report
 	$(GO) test -fuzz=FuzzServiceParams -fuzztime=$(FUZZTIME) -run='^$$' ./internal/service
+	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
 
 # The golden-corpus verification gate: recompute every figure and check
 # it against the embedded corpus, the paper's physics invariants and the

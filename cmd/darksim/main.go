@@ -12,6 +12,7 @@
 //	darksim -format json fig1    # structured output (report.Table JSON)
 //	darksim verify               # check figures against the golden corpus
 //	darksim verify -update       # regenerate the golden corpus
+//	darksim bench                # write the perf-trajectory JSON report
 //
 // Transient experiments (fig11–fig13) default to the paper's run lengths;
 // -duration trades fidelity for speed. With `all` and `ablations` the
@@ -31,7 +32,9 @@ import (
 	"io"
 	"os"
 	"strings"
+	"testing"
 
+	"darksim/internal/bench"
 	"darksim/internal/experiments"
 	"darksim/internal/report"
 	"darksim/internal/runner"
@@ -54,7 +57,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 || (len(args) != 1 && args[0] != "verify") || (*format != "text" && *format != "json") {
+	if len(args) == 0 || (len(args) != 1 && args[0] != "verify" && args[0] != "bench") || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
 	}
@@ -67,6 +70,12 @@ func main() {
 	switch args[0] {
 	case "verify":
 		if err := runVerify(ctx, args[1:], *parallel, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "bench":
+		if err := runBench(ctx, args[1:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
@@ -141,6 +150,55 @@ func runVerify(ctx context.Context, args []string, parallel int, w io.Writer) er
 	if !*update {
 		fmt.Fprintln(w, "verify: all checks passed")
 	}
+	return nil
+}
+
+// runBench parses the bench subcommand's flags and runs the perf harness:
+// dense-vs-sparse thermal-solver and TSP micro-benchmarks plus (by
+// default) one benchmark per paper figure, written as a JSON report for
+// cross-PR perf tracking.
+func runBench(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR5.json", "file the JSON report is written to ('-' for stdout)")
+	benchtime := fs.String("benchtime", "1x", "per-benchmark time or iteration budget (testing -benchtime syntax)")
+	figures := fs.Bool("figures", true, "include the per-figure experiment benchmarks")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("bench takes no positional arguments")
+	}
+	// testing.Benchmark reads the test.benchtime flag; register the
+	// testing flags and set it explicitly so a non-test binary gets a
+	// deterministic budget instead of the 1 s default.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return fmt.Errorf("invalid -benchtime %q: %w", *benchtime, err)
+	}
+	rep, err := bench.Run(ctx, bench.Options{Figures: *figures, Out: w})
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		return rep.WriteJSON(w)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bench: report written to %s\n", *out)
 	return nil
 }
 
@@ -257,35 +315,12 @@ func runOne(ctx context.Context, id string, duration float64, format string, w i
 // runEntry runs one registry entry, honoring the duration override for
 // the transient experiments.
 func runEntry(ctx context.Context, e experiments.Experiment, duration float64) (experiments.Renderer, error) {
-	if duration > 0 {
-		switch e.ID {
-		case "fig11", "fig12", "fig13":
-			return run(ctx, e.ID, duration)
-		}
-	}
-	r, err := e.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if r == nil {
-		return nil, fmt.Errorf("experiment returned no result")
-	}
-	return r, nil
+	return experiments.RunWithDuration(ctx, e, duration)
 }
 
-// run dispatches with the optional duration override for the transient
-// experiments.
+// run dispatches by id with the optional duration override for the
+// transient experiments.
 func run(ctx context.Context, id string, duration float64) (experiments.Renderer, error) {
-	if duration > 0 {
-		switch id {
-		case "fig11":
-			return experiments.Fig11(ctx, experiments.Fig11Options{DurationS: duration})
-		case "fig12":
-			return experiments.Fig12(ctx, experiments.Fig12Options{DurationS: duration})
-		case "fig13":
-			return experiments.Fig13(ctx, experiments.Fig13Options{DurationS: duration})
-		}
-	}
 	e, err := experiments.ByID(id)
 	if err != nil {
 		for _, ab := range experiments.AblationRegistry() {
@@ -295,12 +330,13 @@ func run(ctx context.Context, id string, duration float64) (experiments.Renderer
 		}
 		return nil, err
 	}
-	return e.Run(ctx)
+	return experiments.RunWithDuration(ctx, e, duration)
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] [-format text|json] <experiment|all|ablations|list>
        darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]
+       darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of

@@ -198,3 +198,13 @@ func TestRunAllTimeoutNamesIncompleteFigures(t *testing.T) {
 		t.Errorf("completed figure's output missing after timeout")
 	}
 }
+
+func TestRunBenchArgErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBench(context.Background(), []string{"extra"}, &buf); err == nil {
+		t.Errorf("positional argument should error")
+	}
+	if err := runBench(context.Background(), []string{"-benchtime", "not-a-time"}, &buf); err == nil {
+		t.Errorf("malformed benchtime should error")
+	}
+}

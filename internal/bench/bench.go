@@ -1,0 +1,258 @@
+// Package bench is the perf-trajectory harness behind `darksim bench`:
+// it runs the repository's headline benchmarks — every paper figure plus
+// the dense-vs-sparse thermal-solver and TSP micro-benchmarks — through
+// testing.Benchmark and emits one machine-readable JSON report
+// (BENCH_PR5.json in CI) so successive PRs can be compared on ns/op,
+// allocs/op and solver iterations.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"darksim/internal/experiments"
+	"darksim/internal/floorplan"
+	"darksim/internal/thermal"
+	"darksim/internal/tsp"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Solver reports the thermal linear-solver work of the final
+	// iteration's model, when the benchmark exercises one.
+	Solver *thermal.SolverStats `json:"solver,omitempty"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+	// Speedups maps a benchmark family to the dense-path ns/op divided
+	// by the sparse-path ns/op measured in this same run.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Figures enables the per-figure experiment benchmarks (slower).
+	Figures bool
+	// Out, when non-nil, receives one progress line per benchmark.
+	Out io.Writer
+}
+
+// transientBenchDuration shortens the fig11–fig13 transients for
+// benchmarking; the control loop is exercised identically, just over a
+// shorter simulated horizon.
+var transientBenchDuration = map[string]float64{"fig11": 2, "fig12": 0.5, "fig13": 0.25}
+
+// solverCoreCounts are the platform sizes the dense-vs-sparse
+// micro-benchmarks sweep (side² cores). The largest is the headline
+// comparison: well above the auto-threshold, where the dense path's
+// cubic factorization dominates.
+var solverCoreCounts = []int{10, 32}
+
+// tspCoreSide sizes the TSP worst-case benchmark platform.
+const tspCoreSide = 32
+
+// spec is one named benchmark; solver optionally snapshots the stats of
+// the model the final iteration used.
+type spec struct {
+	name   string
+	run    func(b *testing.B)
+	solver func() *thermal.SolverStats
+}
+
+// Run executes the harness and returns the report.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	specs, err := buildSpecs(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   make(map[string]float64),
+	}
+	for _, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		br := testing.Benchmark(s.run)
+		if br.N == 0 {
+			return nil, fmt.Errorf("bench: %s did not run (failed benchmark)", s.name)
+		}
+		r := Result{
+			Name:        s.name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if s.solver != nil {
+			r.Solver = s.solver()
+		}
+		rep.Results = append(rep.Results, r)
+		if opt.Out != nil {
+			fmt.Fprintf(opt.Out, "%-40s %12.0f ns/op %8d allocs/op\n", s.name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+	rep.computeSpeedups()
+	return rep, nil
+}
+
+// computeSpeedups derives dense/sparse ratios for every benchmark family
+// that ran both paths in this report.
+func (rep *Report) computeSpeedups() {
+	ns := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		ns[r.Name] = r.NsPerOp
+	}
+	for _, side := range solverCoreCounts {
+		cores := side * side
+		d, okd := ns[fmt.Sprintf("ThermalSolveDense/cores=%d", cores)]
+		s, oks := ns[fmt.Sprintf("ThermalSolveSparse/cores=%d", cores)]
+		if okd && oks && s > 0 {
+			rep.Speedups[fmt.Sprintf("thermal_solve/cores=%d", cores)] = d / s
+		}
+	}
+	cores := tspCoreSide * tspCoreSide
+	d, okd := ns[fmt.Sprintf("TSPWorstCaseDense/cores=%d", cores)]
+	s, oks := ns[fmt.Sprintf("TSPWorstCaseSparse/cores=%d", cores)]
+	if okd && oks && s > 0 {
+		rep.Speedups[fmt.Sprintf("tsp_worstcase/cores=%d", cores)] = d / s
+	}
+}
+
+// WriteJSON marshals the report with stable indentation.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func buildSpecs(ctx context.Context, opt Options) ([]spec, error) {
+	var specs []spec
+	if opt.Figures {
+		for _, e := range experiments.Registry() {
+			e := e
+			specs = append(specs, spec{
+				name: "figure/" + e.ID,
+				run: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := experiments.RunWithDuration(ctx, e, transientBenchDuration[e.ID]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
+		}
+	}
+	for _, side := range solverCoreCounts {
+		specs = append(specs, thermalSolveSpec(side, thermal.SolverDense), thermalSolveSpec(side, thermal.SolverSparse))
+	}
+	specs = append(specs, tspSpec(tspCoreSide, thermal.SolverDense), tspSpec(tspCoreSide, thermal.SolverSparse))
+	return specs, nil
+}
+
+// thermalSolveSpec measures a cold steady-state solve — model assembly,
+// factorization or preconditioning, and one solve — on a side×side-core
+// platform with the given path forced.
+func thermalSolveSpec(side int, k thermal.SolverKind) spec {
+	var last *thermal.Model
+	name := fmt.Sprintf("ThermalSolve%s/cores=%d", pathName(k), side*side)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			fp, err := floorplan.NewGrid(side, side, 5.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, side, side)
+			cfg.Solver = k
+			p := make([]float64, side*side)
+			for i := range p {
+				p[i] = 2
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := thermal.NewModel(fp, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.SteadyState(p); err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+		},
+		solver: func() *thermal.SolverStats {
+			if last == nil {
+				return nil
+			}
+			st := last.SolverStats()
+			return &st
+		},
+	}
+}
+
+// tspSpec measures a cold worst-case TSP computation — thermal model,
+// influence matrix (one solve per core) and the greedy adversarial walk —
+// at side² cores.
+func tspSpec(side int, k thermal.SolverKind) spec {
+	var last *thermal.Model
+	cores := side * side
+	name := fmt.Sprintf("TSPWorstCase%s/cores=%d", pathName(k), cores)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			fp, err := floorplan.NewGrid(side, side, 5.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, side, side)
+			cfg.Solver = k
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := thermal.NewModel(fp, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := tsp.New(m, 80)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.WorstCase(cores); err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+		},
+		solver: func() *thermal.SolverStats {
+			if last == nil {
+				return nil
+			}
+			st := last.SolverStats()
+			return &st
+		},
+	}
+}
+
+func pathName(k thermal.SolverKind) string {
+	if k == thermal.SolverSparse {
+		return "Sparse"
+	}
+	return "Dense"
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"darksim/internal/thermal"
+)
+
+// TestThermalSolveSpec runs the micro-benchmark body once on a tiny
+// platform for both paths and checks the measurement plumbing (names,
+// solver stats, speedup derivation) without paying real benchmark time.
+func TestThermalSolveSpec(t *testing.T) {
+	rep := &Report{Speedups: make(map[string]float64)}
+	for _, k := range []thermal.SolverKind{thermal.SolverDense, thermal.SolverSparse} {
+		s := thermalSolveSpec(4, k)
+		if !strings.Contains(s.name, "cores=16") {
+			t.Fatalf("spec name %q", s.name)
+		}
+		br := testing.Benchmark(s.run)
+		if br.N == 0 {
+			t.Fatalf("%s did not run", s.name)
+		}
+		r := Result{
+			Name:    s.name,
+			NsPerOp: float64(br.T.Nanoseconds()) / float64(br.N),
+			Solver:  s.solver(),
+		}
+		if r.Solver == nil || r.Solver.Solves == 0 {
+			t.Fatalf("%s reported no solver stats: %+v", s.name, r.Solver)
+		}
+		want := "dense"
+		if k == thermal.SolverSparse {
+			want = "sparse"
+		}
+		if r.Solver.Path != want {
+			t.Fatalf("%s ran on the %s path", s.name, r.Solver.Path)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+}
+
+func TestComputeSpeedupsAndJSON(t *testing.T) {
+	rep := &Report{
+		GoVersion: "go0.test",
+		Results: []Result{
+			{Name: "ThermalSolveDense/cores=1024", NsPerOp: 100},
+			{Name: "ThermalSolveSparse/cores=1024", NsPerOp: 10},
+			{Name: "TSPWorstCaseDense/cores=1024", NsPerOp: 50},
+			{Name: "TSPWorstCaseSparse/cores=1024", NsPerOp: 25},
+		},
+		Speedups: make(map[string]float64),
+	}
+	rep.computeSpeedups()
+	if got := rep.Speedups["thermal_solve/cores=1024"]; got != 10 {
+		t.Errorf("thermal speedup = %v", got)
+	}
+	if got := rep.Speedups["tsp_worstcase/cores=1024"]; got != 2 {
+		t.Errorf("tsp speedup = %v", got)
+	}
+	// Families missing one path produce no entry.
+	if _, ok := rep.Speedups["thermal_solve/cores=100"]; ok {
+		t.Errorf("speedup for unmeasured family")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Results) != 4 || back.Speedups["thermal_solve/cores=1024"] != 10 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}

@@ -215,6 +215,32 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
+// RunWithDuration runs one registry entry, overriding the simulated
+// duration of the transient experiments (fig11–fig13) when duration > 0.
+// Non-transient experiments ignore the override. This is the shared entry
+// point of the CLI's -duration flag and the bench harness's shortened
+// per-figure runs.
+func RunWithDuration(ctx context.Context, e Experiment, duration float64) (Renderer, error) {
+	if duration > 0 {
+		switch e.ID {
+		case "fig11":
+			return Fig11(ctx, Fig11Options{DurationS: duration})
+		case "fig12":
+			return Fig12(ctx, Fig12Options{DurationS: duration})
+		case "fig13":
+			return Fig13(ctx, Fig13Options{DurationS: duration})
+		}
+	}
+	r, err := e.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("experiments: %s returned no result", e.ID)
+	}
+	return r, nil
+}
+
 // paperOrder returns the catalog in the paper's per-figure (a)–(g) order:
 // x264, blackscholes, bodytrack, ferret, canneal, dedup, swaptions.
 func paperOrder() []apps.App {

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// FuzzCSRMulVec differentially tests the sparse kernel against the dense
+// one: a fuzzed byte string is decoded into a small dense matrix and a
+// vector, converted to CSR both via NewCSRFromDense and via CSRBuilder,
+// and all three products must agree. This pins the CSR layout invariants
+// (RowPtr monotonicity, ascending columns, duplicate merging) that the
+// thermal assembly path depends on.
+func FuzzCSRMulVec(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{5, 0xFF, 0x00, 0x80, 0x7F, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0])%6 + 1
+		data = data[1:]
+		// Decode bytes into matrix entries; 0 encodes a structural zero so
+		// the fuzzer explores sparsity patterns.
+		at := func(k int) float64 {
+			if k >= len(data) || data[k] == 0 {
+				return 0
+			}
+			return (float64(data[k]) - 128) / 8
+		}
+		m := NewMatrix(n, n)
+		b := NewCSRBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := at(i*n + j)
+				if v != 0 {
+					m.Set(i, j, v)
+					// Split the value across two builder entries to
+					// exercise duplicate merging.
+					b.Add(i, j, v/2)
+					b.Add(i, j, v/2)
+				}
+			}
+		}
+		x := NewVector(n)
+		for i := range x {
+			x[i] = at(n*n + i)
+		}
+		want, err := m.MulVec(x)
+		if err != nil {
+			t.Fatalf("dense MulVec: %v", err)
+		}
+		for _, c := range []*CSR{
+			mustCSR(t, m),
+			b.Build(),
+		} {
+			if err := checkCSRInvariants(c); err != nil {
+				t.Fatalf("CSR invariants: %v", err)
+			}
+			got, err := c.MulVec(x, nil)
+			if err != nil {
+				t.Fatalf("sparse MulVec: %v", err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("MulVec differs at %d: dense %v sparse %v", i, want[i], got[i])
+				}
+			}
+			// Transpose twice is the identity on the product.
+			tt := c.Transpose().Transpose()
+			got2, err := tt.MulVec(x, nil)
+			if err != nil {
+				t.Fatalf("transpose MulVec: %v", err)
+			}
+			for i := range want {
+				if math.Abs(got2[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("double transpose changed the product at %d", i)
+				}
+			}
+		}
+	})
+}
+
+func mustCSR(t *testing.T, m *Matrix) *CSR {
+	t.Helper()
+	c, err := NewCSRFromDense(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func checkCSRInvariants(c *CSR) error {
+	if len(c.RowPtr) != c.N+1 || c.RowPtr[0] != 0 || c.RowPtr[c.N] != len(c.Col) || len(c.Col) != len(c.Val) {
+		return fmt.Errorf("layout: rowptr %d nnz %d/%d", len(c.RowPtr), len(c.Col), len(c.Val))
+	}
+	for i := 0; i < c.N; i++ {
+		if c.RowPtr[i] > c.RowPtr[i+1] {
+			return fmt.Errorf("rowptr not monotone at %d", i)
+		}
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if c.Col[k] < 0 || c.Col[k] >= c.N {
+				return fmt.Errorf("column out of range at %d", k)
+			}
+			if k > c.RowPtr[i] && c.Col[k-1] >= c.Col[k] {
+				return fmt.Errorf("columns not strictly ascending in row %d", i)
+			}
+		}
+	}
+	return nil
+}

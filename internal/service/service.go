@@ -325,12 +325,13 @@ func (s *Server) runFlight(key, id string, params map[string]string, c *call, fn
 // the CLI's -duration flag.
 var transientFigures = map[string]bool{"fig11": true, "fig12": true, "fig13": true}
 
-// maxTSPCores caps the platform size /v1/tsp will build. Platform
-// construction allocates thermal-model state quadratic in the core
-// count, so an unbounded query parameter would let one request exhaust
-// memory; the paper's largest platform (8 nm) has 361 cores, far below
-// this limit.
-const maxTSPCores = 1024
+// maxTSPCores caps the platform size /v1/tsp will build. With the
+// sparse-first thermal solver the model itself is O(nnz), and the
+// remaining quadratic allocation is the block×block influence matrix
+// (~134 MB at this cap), so an unbounded query parameter would still let
+// one request exhaust memory; the paper's largest platform (8 nm) has
+// 361 cores, far below this limit.
+const maxTSPCores = 4096
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.order)

@@ -590,8 +590,8 @@ func TestErrOptionsMapsTo400(t *testing.T) {
 	}
 }
 
-// TestTSPCoresBounded pins the /v1/tsp request-size guard: platform
-// construction cost grows quadratically with cores, so the endpoint must
+// TestTSPCoresBounded pins the /v1/tsp request-size guard: the influence
+// matrix still grows quadratically with cores, so the endpoint must
 // reject sizes above maxTSPCores as a client error instead of building
 // them.
 func TestTSPCoresBounded(t *testing.T) {
@@ -604,7 +604,7 @@ func TestTSPCoresBounded(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400; body %s", code, body)
 	}
-	if !strings.Contains(body, "1024") {
+	if !strings.Contains(body, "4096") {
 		t.Errorf("error should state the bound: %s", body)
 	}
 	if code, _, _ := get(t, ts, "/v1/tsp?node=16nm&cores=0&active=1"); code != http.StatusBadRequest {

@@ -4,10 +4,13 @@
 // cells, connected by lateral and vertical thermal conductances, with a
 // convection boundary to the ambient.
 //
-// Steady state solves the SPD linear system G·T = P (+ ambient coupling)
-// with a cached Cholesky factorization; the transient solver uses
-// unconditionally stable implicit Euler, re-using one factorization per
-// step size. Both expose per-core (floorplan block) temperatures.
+// The conductance matrix is assembled directly in CSR form; steady state
+// solves the SPD linear system G·T = P (+ ambient coupling) behind a
+// solver seam chosen at construction — dense Cholesky for small stacks,
+// IC(0)-preconditioned conjugate gradients for large ones. The transient
+// solver uses unconditionally stable implicit Euler, re-using one cached
+// factorization (or preconditioner) per step size. Both expose per-core
+// (floorplan block) temperatures.
 //
 // The default configuration reproduces the paper's §2.1 HotSpot setup:
 // 0.15 mm die, k_Si = 100 W/(m·K), c_Si = 1.75e6 J/(m³·K); 20 µm interface
@@ -61,6 +64,10 @@ type Config struct {
 	ConvectionC float64
 	// AmbientC is the ambient temperature in °C.
 	AmbientC float64
+	// Solver selects the linear-solver path. The zero value (SolverAuto)
+	// picks dense Cholesky for small stacks and sparse preconditioned CG
+	// above sparseNodeThreshold nodes.
+	Solver SolverKind
 }
 
 // Paper §2.1 stack geometry.
@@ -147,6 +154,9 @@ func (c Config) Validate() error {
 	}
 	if c.ConvectionC < 0 {
 		return fmt.Errorf("%w: convection capacitance must be non-negative", ErrConfig)
+	}
+	if c.Solver < SolverAuto || c.Solver > SolverSparse {
+		return fmt.Errorf("%w: unknown solver kind %d", ErrConfig, int(c.Solver))
 	}
 	return nil
 }

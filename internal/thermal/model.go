@@ -27,11 +27,24 @@ type Model struct {
 	cells  []cell
 	layers [][]int // node indices per layer
 
-	// g is the symmetric conductance matrix including ambient coupling
-	// on the diagonal; steady state solves g·T = P + gAmb·Tamb.
-	g      *linalg.Matrix
-	chol   *linalg.Cholesky
+	// gs is the symmetric conductance matrix in CSR form, including
+	// ambient coupling on the diagonal; steady state solves
+	// gs·T = P + gAmb·Tamb. It is the only stored form of the matrix —
+	// the dense n×n representation is never materialized on the sparse
+	// path, which is what lets the model scale to thousands of cores
+	// with O(nnz) assembly memory.
+	gs     *linalg.CSR
 	ambRHS linalg.Vector // gAmb·Tamb per node
+
+	// steady is the factored steady-state system behind the solver
+	// seam: dense Cholesky below sparseNodeThreshold nodes, IC(0)-
+	// preconditioned CG above (see Config.Solver to force a path).
+	steady   *factor
+	counters solveCounters
+
+	// ambNodes is the zero-power steady state (≈ ambient everywhere),
+	// solved once at construction; it seeds transients and AmbientField.
+	ambNodes linalg.Vector
 
 	// blockCells[b] lists (node, fraction) pairs distributing block b's
 	// power over die cells; fractions sum to 1.
@@ -40,13 +53,21 @@ type Model struct {
 	// influence is the lazily computed block×block matrix of steady
 	// state dT_i/dP_j in K/W, guarded by infOnce for concurrent callers.
 	influence *linalg.Matrix
+	infErr    error
 	infOnce   sync.Once
 
-	// csr is the lazily built sparse conductance matrix for the
-	// iterative (CG) solve path.
-	csr     *linalg.CSR
-	csrErr  error
-	csrOnce sync.Once
+	// transFacs caches the factored implicit-Euler system per step size
+	// so repeated transients over one model (Fig11–13's sweeps) factor
+	// and precondition each dt exactly once.
+	transMu   sync.Mutex
+	transFacs map[float64]*transFactor
+}
+
+// transFactor bundles the per-dt transient system: the factored
+// (C/dt + G) matrix and the C/dt diagonal.
+type transFactor struct {
+	fac   *factor
+	capDt linalg.Vector
 }
 
 type cellShare struct {
@@ -55,7 +76,10 @@ type cellShare struct {
 	weight   float64 // of this cell in the block's readout temperature
 }
 
-// NewModel discretizes the stack and factors the conductance matrix.
+// NewModel discretizes the stack, assembles the conductance matrix
+// directly in sparse form and prepares the solver path selected by
+// cfg.Solver (dense Cholesky for small models, preconditioned CG above
+// sparseNodeThreshold nodes).
 func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -63,20 +87,63 @@ func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 	if err := fp.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{cfg: cfg, fp: fp}
+	m := &Model{cfg: cfg, fp: fp, transFacs: make(map[float64]*transFactor)}
 	m.buildCells()
-	if err := m.buildConductances(); err != nil {
-		return nil, err
-	}
+	m.buildConductances()
 	if err := m.bindFloorplan(); err != nil {
 		return nil, err
 	}
-	ch, err := linalg.NewCholesky(m.g)
+	var (
+		fac *factor
+		err error
+	)
+	if m.useSparse() {
+		fac, err = newSparseFactor(m.gs, &m.counters)
+	} else {
+		fac, err = newDenseFactor(m.gs.Dense(), &m.counters)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("thermal: conductance matrix not SPD (disconnected node?): %w", err)
 	}
-	m.chol = ch
+	m.steady = fac
+	// Solve the zero-power steady state once; it doubles as an early
+	// convergence check of the iterative path.
+	amb := m.ambRHS.Clone()
+	if err := m.steady.solveInPlace(amb); err != nil {
+		return nil, err
+	}
+	m.ambNodes = amb
 	return m, nil
+}
+
+// useSparse resolves the configured SolverKind to a concrete path.
+func (m *Model) useSparse() bool {
+	switch m.cfg.Solver {
+	case SolverDense:
+		return false
+	case SolverSparse:
+		return true
+	}
+	return len(m.cells) > sparseNodeThreshold
+}
+
+// SolverPath reports which solver the model selected: "dense" or
+// "sparse".
+func (m *Model) SolverPath() string {
+	if m.steady.sparse() {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// SolverStats snapshots the linear-solver work performed so far by this
+// model and its transients.
+func (m *Model) SolverStats() SolverStats {
+	return SolverStats{
+		Path:         m.SolverPath(),
+		Solves:       m.counters.solves.Load(),
+		CGIterations: m.counters.iterations.Load(),
+	}
 }
 
 func (m *Model) buildCells() {
@@ -110,19 +177,25 @@ func (m *Model) buildCells() {
 	}
 }
 
-func (m *Model) buildConductances() error {
+// buildConductances assembles the conductance matrix directly into CSR
+// form. The RC grid couples each node to at most itself, four lateral
+// neighbours and the overlapping cells of the layers above and below, so
+// assembly is O(nnz): the vertical coupling enumerates only the lower-
+// grid cells whose index range can overlap each upper cell instead of
+// scanning the full cross product.
+func (m *Model) buildConductances() {
 	n := len(m.cells)
-	m.g = linalg.NewMatrix(n, n)
+	b := linalg.NewCSRBuilder(n)
 	m.ambRHS = linalg.NewVector(n)
 
 	addPair := func(i, j int, g float64) {
 		if g <= 0 {
 			return
 		}
-		m.g.Add(i, i, g)
-		m.g.Add(j, j, g)
-		m.g.Add(i, j, -g)
-		m.g.Add(j, i, -g)
+		b.Add(i, i, g)
+		b.Add(j, j, g)
+		b.Add(i, j, -g)
+		b.Add(j, i, -g)
 	}
 
 	// Lateral conductances inside each layer (4-neighbour grid).
@@ -150,15 +223,26 @@ func (m *Model) buildConductances() error {
 		upper, lower := m.cfg.Layers[li], m.cfg.Layers[li+1]
 		rPerArea := upper.Thickness/(2*upper.Material.Conductivity) +
 			lower.Thickness/(2*lower.Material.Conductivity)
+		lw, lh := lower.W/float64(lower.Nx), lower.H/float64(lower.Ny)
+		lowIdx := m.layers[li+1]
 		for _, ui := range m.layers[li] {
 			uc := m.cells[ui]
-			for _, wi := range m.layers[li+1] {
-				wc := m.cells[wi]
-				ov := overlap(uc, wc)
-				if ov <= 0 {
-					continue
+			// Candidate lower-grid window covering the upper cell,
+			// padded by one cell against floating-point edge cases;
+			// cells outside it have zero overlap by construction.
+			ix0 := clampGrid(int(math.Floor((uc.x+lower.W/2)/lw))-1, lower.Nx)
+			ix1 := clampGrid(int(math.Floor((uc.x+uc.w+lower.W/2)/lw))+1, lower.Nx)
+			iy0 := clampGrid(int(math.Floor((uc.y+lower.H/2)/lh))-1, lower.Ny)
+			iy1 := clampGrid(int(math.Floor((uc.y+uc.h+lower.H/2)/lh))+1, lower.Ny)
+			for iy := iy0; iy <= iy1; iy++ {
+				for ix := ix0; ix <= ix1; ix++ {
+					wi := lowIdx[iy*lower.Nx+ix]
+					ov := overlap(uc, m.cells[wi])
+					if ov <= 0 {
+						continue
+					}
+					addPair(ui, wi, ov/rPerArea)
 				}
-				addPair(ui, wi, ov/rPerArea)
 			}
 		}
 	}
@@ -166,11 +250,22 @@ func (m *Model) buildConductances() error {
 	// Ambient coupling: diagonal term plus RHS contribution.
 	for i, c := range m.cells {
 		if c.gAmbW > 0 {
-			m.g.Add(i, i, c.gAmbW)
+			b.Add(i, i, c.gAmbW)
 			m.ambRHS[i] = c.gAmbW * m.cfg.AmbientC
 		}
 	}
-	return nil
+	m.gs = b.Build()
+}
+
+// clampGrid clamps a grid index into [0, n).
+func clampGrid(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }
 
 // overlap returns the overlapping area of two cells in m².
@@ -231,6 +326,10 @@ func (m *Model) Ambient() float64 { return m.cfg.AmbientC }
 // Floorplan returns the bound floorplan.
 func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
 
+// Conductances returns the assembled conductance matrix in CSR form.
+// The matrix is shared and must not be mutated.
+func (m *Model) Conductances() *linalg.CSR { return m.gs }
+
 // nodePower expands per-block power into per-node power.
 func (m *Model) nodePower(blockPower []float64) (linalg.Vector, error) {
 	if len(blockPower) != len(m.blockCells) {
@@ -279,7 +378,9 @@ func (m *Model) SteadyStateNodes(blockPower []float64) (linalg.Vector, error) {
 		return nil, err
 	}
 	p.AddScaled(1, m.ambRHS)
-	m.chol.SolveInPlace(p)
+	if err := m.steady.solveInPlace(p); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -298,11 +399,13 @@ func (m *Model) PeakSteadyState(blockPower []float64) (float64, int, error) {
 // block j (K/W). By linearity, T = B·P + Tambient-field, which is the
 // foundation of the TSP computation.
 //
-// The columns are independent triangular solves against the shared (and
-// immutable) Cholesky factorization, so they are computed in parallel.
-func (m *Model) InfluenceMatrix() *linalg.Matrix {
+// The columns are independent solves against the shared (and immutable)
+// steady-state factorization, so they are computed in parallel on the
+// runner pool; the sparse path hands each worker its own pooled CG
+// workspace.
+func (m *Model) InfluenceMatrix() (*linalg.Matrix, error) {
 	m.infOnce.Do(m.computeInfluence)
-	return m.influence
+	return m.influence, m.infErr
 }
 
 func (m *Model) computeInfluence() {
@@ -315,15 +418,16 @@ func (m *Model) computeInfluence() {
 		v := linalg.NewVector(len(m.cells))
 		return &v
 	}
-	// The per-column solves cannot fail, so the error is statically nil.
-	_, _ = runner.MapN(context.Background(), nb, runner.Options{}, func(_ context.Context, j int) (struct{}, error) {
+	_, err := runner.MapN(context.Background(), nb, runner.Options{}, func(_ context.Context, j int) (struct{}, error) {
 		vp := rhsPool.Get().(*linalg.Vector)
 		rhs := *vp
 		rhs.Fill(0)
 		for _, s := range m.blockCells[j] {
 			rhs[s.node] = s.fraction
 		}
-		m.chol.SolveInPlace(rhs)
+		if err := m.steady.solveInPlace(rhs); err != nil {
+			return struct{}{}, fmt.Errorf("influence column %d: %w", j, err)
+		}
 		for i := 0; i < nb; i++ {
 			var t float64
 			for _, s := range m.blockCells[i] {
@@ -334,45 +438,73 @@ func (m *Model) computeInfluence() {
 		rhsPool.Put(vp)
 		return struct{}{}, nil
 	})
+	if err != nil {
+		m.infErr = err
+		return
+	}
 	m.influence = inf
 }
 
 // AmbientField returns the per-block steady-state temperature with zero
-// power everywhere: the baseline each block sits at (≈ ambient).
+// power everywhere: the baseline each block sits at (≈ ambient). It is
+// solved once at construction and reused.
 func (m *Model) AmbientField() []float64 {
-	rhs := m.ambRHS.Clone()
-	m.chol.SolveInPlace(rhs)
-	return m.blockTemps(rhs)
+	return m.blockTemps(m.ambNodes)
 }
 
-// csr caches the sparse form of the conductance matrix for the iterative
-// path.
-func (m *Model) csrMatrix() (*linalg.CSR, error) {
-	m.csrOnce.Do(func() {
-		m.csr, m.csrErr = linalg.NewCSRFromDense(m.g, 0)
-	})
-	return m.csr, m.csrErr
-}
-
-// SteadyStateIterative solves the same steady state as SteadyState with a
-// Jacobi-preconditioned conjugate-gradient on the sparse conductance
-// matrix instead of the dense Cholesky. The conductance matrix has ≈7
-// nonzeros per row, so this path scales to chips far beyond the paper's
-// 361 cores; on the paper-sized models it agrees with the direct solver
-// to solver tolerance.
+// SteadyStateIterative solves the steady state with the sparse
+// preconditioned-CG path regardless of the model's selected solver. It
+// is retained for differential testing of the two paths; SteadyState is
+// the production entry point and already uses CG on large models.
 func (m *Model) SteadyStateIterative(blockPower []float64) ([]float64, error) {
 	p, err := m.nodePower(blockPower)
 	if err != nil {
 		return nil, err
 	}
 	p.AddScaled(1, m.ambRHS)
-	a, err := m.csrMatrix()
-	if err != nil {
-		return nil, err
-	}
-	x, _, err := linalg.SolveCG(a, p, linalg.CGOptions{Tol: 1e-11})
+	x, _, err := linalg.SolveCG(m.gs, p, linalg.CGOptions{Tol: 1e-11})
 	if err != nil {
 		return nil, err
 	}
 	return m.blockTemps(x), nil
+}
+
+// transientFactor returns (building and caching on first use) the
+// factored implicit-Euler system for step size dt. The cache makes
+// repeated transients over one model — a sweep of boosting runs, or
+// several app instances sharing a cached platform — factor each dt once.
+func (m *Model) transientFactor(dt float64) (*transFactor, error) {
+	m.transMu.Lock()
+	defer m.transMu.Unlock()
+	if tf, ok := m.transFacs[dt]; ok {
+		return tf, nil
+	}
+	n := len(m.cells)
+	capDt := linalg.NewVector(n)
+	for i, c := range m.cells {
+		capDt[i] = c.capJK / dt
+	}
+	var (
+		fac *factor
+		err error
+	)
+	if m.steady.sparse() {
+		a, aerr := m.gs.AddDiagonal(capDt)
+		if aerr != nil {
+			return nil, aerr
+		}
+		fac, err = newSparseFactor(a, &m.counters)
+	} else {
+		a := m.gs.Dense()
+		for i := 0; i < n; i++ {
+			a.Add(i, i, capDt[i])
+		}
+		fac, err = newDenseFactor(a, &m.counters)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("thermal: transient matrix not SPD: %w", err)
+	}
+	tf := &transFactor{fac: fac, capDt: capDt}
+	m.transFacs[dt] = tf
+	return tf, nil
 }

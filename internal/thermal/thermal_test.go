@@ -256,12 +256,15 @@ func TestNewModelErrors(t *testing.T) {
 
 func TestInfluenceMatrix(t *testing.T) {
 	m := model16(t)
-	inf := m.InfluenceMatrix()
+	inf, err := m.InfluenceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inf.Rows != 100 || inf.Cols != 100 {
 		t.Fatalf("influence shape %dx%d", inf.Rows, inf.Cols)
 	}
 	// Cached on second call.
-	if m.InfluenceMatrix() != inf {
+	if again, _ := m.InfluenceMatrix(); again != inf {
 		t.Errorf("influence matrix should be cached")
 	}
 	// Self-influence dominates cross influence.
@@ -459,7 +462,7 @@ func TestEnergyConservationProperty(t *testing.T) {
 
 func TestConductanceMatrixSymmetric(t *testing.T) {
 	m := model16(t)
-	if !m.g.IsSymmetric(1e-12) {
+	if !m.Conductances().IsSymmetric(1e-12) {
 		t.Errorf("conductance matrix must be symmetric")
 	}
 	if m.NumNodes() != 100+100+64+100 {
@@ -469,6 +472,159 @@ func TestConductanceMatrixSymmetric(t *testing.T) {
 		t.Errorf("block count = %d", m.NumBlocks())
 	}
 	_ = linalg.Vector(nil) // keep import if asserts change
+}
+
+// modelWithSolver builds the 10x10 platform with a forced solver path.
+func modelWithSolver(t testing.TB, k SolverKind) *Model {
+	t.Helper()
+	fp, err := floorplan.NewGrid(10, 10, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(fp.DieW, fp.DieH, 10, 10)
+	cfg.Solver = k
+	m, err := NewModel(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSolverPathSelection(t *testing.T) {
+	// 364 nodes: auto stays dense; forcing sparse flips the path.
+	if got := model16(t).SolverPath(); got != "dense" {
+		t.Errorf("auto path on 364 nodes = %q, want dense", got)
+	}
+	if got := modelWithSolver(t, SolverSparse).SolverPath(); got != "sparse" {
+		t.Errorf("forced sparse path = %q", got)
+	}
+	if got := modelWithSolver(t, SolverDense).SolverPath(); got != "dense" {
+		t.Errorf("forced dense path = %q", got)
+	}
+	// A model above the threshold goes sparse on auto.
+	fp, err := floorplan.NewGrid(15, 15, 5.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewModel(fp, DefaultConfig(fp.DieW, fp.DieH, 15, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.NumNodes() <= sparseNodeThreshold {
+		t.Fatalf("15x15 platform has %d nodes, expected above threshold", big.NumNodes())
+	}
+	if got := big.SolverPath(); got != "sparse" {
+		t.Errorf("auto path on %d nodes = %q, want sparse", big.NumNodes(), got)
+	}
+	// SolverKind strings and config validation.
+	if SolverAuto.String() != "auto" || SolverDense.String() != "dense" || SolverSparse.String() != "sparse" {
+		t.Errorf("SolverKind strings wrong")
+	}
+	if SolverKind(9).String() == "" {
+		t.Errorf("unknown kind should still print")
+	}
+	bad := DefaultConfig(0.02, 0.02, 4, 4)
+	bad.Solver = SolverKind(9)
+	if err := bad.Validate(); err == nil {
+		t.Errorf("unknown solver kind should fail validation")
+	}
+}
+
+// TestSparseMatchesDenseSteadyState is the cross-path differential: the
+// sparse preconditioned-CG engine must reproduce the dense Cholesky
+// solution far inside the golden-corpus tolerance.
+func TestSparseMatchesDenseSteadyState(t *testing.T) {
+	dense := modelWithSolver(t, SolverDense)
+	sparse := modelWithSolver(t, SolverSparse)
+	rng := rand.New(rand.NewSource(7))
+	p := make([]float64, 100)
+	for i := range p {
+		p[i] = 4 * rng.Float64()
+	}
+	td, err := dense.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := sparse.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range td {
+		if math.Abs(td[i]-ts[i]) > 1e-7 {
+			t.Fatalf("paths disagree at %d: dense %v sparse %v", i, td[i], ts[i])
+		}
+	}
+	// Influence matrices agree too (parallel multi-RHS on the seam).
+	id, err := dense.InfluenceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := sparse.InfluenceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < id.Rows; i++ {
+		for j := 0; j < id.Cols; j++ {
+			if math.Abs(id.At(i, j)-is.At(i, j)) > 1e-8 {
+				t.Fatalf("influence disagrees at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Stats reflect the work done.
+	sd, ss := dense.SolverStats(), sparse.SolverStats()
+	if sd.Path != "dense" || sd.Solves == 0 || sd.CGIterations != 0 {
+		t.Errorf("dense stats = %+v", sd)
+	}
+	if ss.Path != "sparse" || ss.Solves == 0 || ss.CGIterations == 0 {
+		t.Errorf("sparse stats = %+v", ss)
+	}
+}
+
+func TestSparseMatchesDenseTransient(t *testing.T) {
+	dense := modelWithSolver(t, SolverDense)
+	sparse := modelWithSolver(t, SolverSparse)
+	trd, err := dense.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := sparse.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 100)
+	for i := range p {
+		p[i] = 2.5
+	}
+	for step := 0; step < 50; step++ {
+		td, err := trd.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := trs.Step(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range td {
+			if math.Abs(td[i]-ts[i]) > 1e-6 {
+				t.Fatalf("step %d block %d: dense %v sparse %v", step, i, td[i], ts[i])
+			}
+		}
+	}
+	// The per-dt factor cache hands a second transient the same factor.
+	again, err := sparse.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.tf != trs.tf {
+		t.Errorf("transient factor not cached per dt")
+	}
+	other, err := sparse.NewTransient(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.tf == trs.tf {
+		t.Errorf("distinct dt must not share a factor")
+	}
 }
 
 func BenchmarkSteadyState100(b *testing.B) {

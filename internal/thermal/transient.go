@@ -12,40 +12,41 @@ import (
 //	C·(T⁺ − T)/dt = −G·T⁺ + P + P_amb
 //	(C/dt + G)·T⁺ = (C/dt)·T + P + P_amb
 //
-// The left-hand matrix depends only on dt, so one Cholesky factorization
-// serves the whole run; each step is a single triangular solve. This is
-// what makes the paper's §6 boosting experiments (100 s at 1 ms control
-// period, i.e. 10⁵ steps) tractable.
+// The left-hand matrix depends only on dt, so one factorization (dense
+// path) or preconditioner (sparse path) serves the whole run, and the
+// model caches it per dt across runs. On the dense path each step is a
+// single triangular solve; on the sparse path each step is a CG solve
+// warm-started from the previous temperatures, which converges in a
+// handful of iterations at small dt because consecutive states are
+// close. This is what makes the paper's §6 boosting experiments (100 s
+// at 1 ms control period, i.e. 10⁵ steps) tractable.
 type Transient struct {
-	m     *Model
-	dt    float64
-	chol  *linalg.Cholesky
-	capDt linalg.Vector // C/dt per node
-	t     linalg.Vector // current node temperatures
+	m  *Model
+	dt float64
+	tf *transFactor
+	t  linalg.Vector // current node temperatures
+	// cgs/x are the sparse path's private solver and solution buffer; a
+	// Transient is not safe for concurrent Steps, so no pooling needed.
+	cgs *linalg.CGSolver
+	x   linalg.Vector
 }
 
 // NewTransient creates a transient integrator with step size dt (seconds),
-// initialized to the ambient-only steady state (a cold chip).
+// initialized to the ambient-only steady state (a cold chip). Repeated
+// calls with the same dt share one cached factorization.
 func (m *Model) NewTransient(dt float64) (*Transient, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("%w: transient step %g s", ErrConfig, dt)
 	}
-	n := len(m.cells)
-	a := m.g.Clone()
-	capDt := linalg.NewVector(n)
-	for i, c := range m.cells {
-		capDt[i] = c.capJK / dt
-		a.Add(i, i, capDt[i])
-	}
-	ch, err := linalg.NewCholesky(a)
+	tf, err := m.transientFactor(dt)
 	if err != nil {
-		return nil, fmt.Errorf("thermal: transient matrix not SPD: %w", err)
+		return nil, err
 	}
-	tr := &Transient{m: m, dt: dt, chol: ch, capDt: capDt}
-	// Start from the zero-power steady state.
-	rhs := m.ambRHS.Clone()
-	m.chol.SolveInPlace(rhs)
-	tr.t = rhs
+	tr := &Transient{m: m, dt: dt, tf: tf, t: m.ambNodes.Clone()}
+	if tf.fac.sparse() {
+		tr.cgs = tf.fac.newSolver()
+		tr.x = linalg.NewVector(len(m.cells))
+	}
 	return tr, nil
 }
 
@@ -63,6 +64,9 @@ func (tr *Transient) SetSteadyState(blockPower []float64) error {
 		return err
 	}
 	tr.t = nodeT
+	if tr.x != nil && len(tr.x) != len(tr.t) {
+		tr.x = linalg.NewVector(len(tr.t))
+	}
 	return nil
 }
 
@@ -74,10 +78,24 @@ func (tr *Transient) Step(blockPower []float64) ([]float64, error) {
 		return nil, err
 	}
 	for i := range p {
-		p[i] += tr.capDt[i]*tr.t[i] + tr.m.ambRHS[i]
+		p[i] += tr.tf.capDt[i]*tr.t[i] + tr.m.ambRHS[i]
 	}
-	tr.chol.SolveInPlace(p)
-	tr.t = p
+	if tr.cgs == nil {
+		tr.tf.fac.chol.SolveInPlace(p)
+		tr.tf.fac.record(linalg.CGStats{})
+		tr.t = p
+	} else {
+		// Warm start from the current temperatures: at control-period
+		// step sizes consecutive states differ by millikelvins, so CG
+		// typically converges in a few iterations.
+		copy(tr.x, tr.t)
+		st, err := tr.cgs.Solve(p, tr.x)
+		tr.tf.fac.record(st)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: transient step: %w", err)
+		}
+		tr.t, tr.x = tr.x, tr.t
+	}
 	return tr.m.blockTemps(tr.t), nil
 }
 

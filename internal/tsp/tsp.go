@@ -77,38 +77,59 @@ func (c *Calculator) Given(active []int) (float64, error) {
 		}
 		seen[a] = true
 	}
-	inf := c.model.InfluenceMatrix()
-	best := math.Inf(1)
+	inf, err := c.model.InfluenceMatrix()
+	if err != nil {
+		return 0, err
+	}
+	rowSum := make([]float64, n)
 	for i := 0; i < n; i++ {
-		var rowSum float64
 		for _, j := range active {
-			rowSum += inf.At(i, j)
+			rowSum[i] += inf.At(i, j)
 		}
-		if rowSum <= 0 {
+	}
+	return c.evalTSP(rowSum, len(active))
+}
+
+// evalTSP turns accumulated influence row sums Σ_{j∈S} B[i][j] into the
+// TSP value min_i (Tcrit − T0_i) / rowSum[i]. It is shared between Given
+// (which builds the sums for an arbitrary set) and the greedy worst-case
+// walk (which maintains them incrementally); both accumulate each row in
+// active-set order, so the two call sites produce bit-identical values
+// for the same set.
+func (c *Calculator) evalTSP(rowSum []float64, nActive int) (float64, error) {
+	best := math.Inf(1)
+	for i, rs := range rowSum {
+		if rs <= 0 {
 			continue
 		}
-		if p := (c.tcrit - c.base[i]) / rowSum; p < best {
+		if p := (c.tcrit - c.base[i]) / rs; p < best {
 			best = p
 		}
 	}
 	if math.IsInf(best, 1) || best <= 0 {
-		return 0, fmt.Errorf("%w: active set of %d cores", ErrInfeasible, len(active))
+		return 0, fmt.Errorf("%w: active set of %d cores", ErrInfeasible, nActive)
 	}
 	return best, nil
 }
 
-// WorstCase returns the worst-case TSP for n active cores: the TSP of the
-// most thermally adverse placement. The placement is found greedily: start
-// from the single core with the highest self-influence (the thermal
+// worstWalk runs the greedy adversarial-placement walk up to n cores:
+// start from the single core with the highest self-influence (the thermal
 // centre) and repeatedly add the core that maximizes the accumulated
-// influence at the current hottest spot. It also returns the adversarial
-// placement itself.
-func (c *Calculator) WorstCase(n int) (float64, []int, error) {
+// influence at the current hottest spot. After every pick it invokes
+// visit with the prefix length and the live rowSum slice (read-only, do
+// not retain), which lets Table evaluate all prefixes from one walk. The
+// greedy choice at step k only depends on the first k picks, so the
+// n-core placement is a prefix of the (n+1)-core one — the property the
+// single shared walk exploits. Returns the full placement sequence.
+func (c *Calculator) worstWalk(n int, visit func(k int, rowSum []float64) error) ([]int, error) {
 	nb := c.model.NumBlocks()
 	if n <= 0 || n > nb {
-		return 0, nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
+		return nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
 	}
-	inf := c.model.InfluenceMatrix()
+	inf, err := c.model.InfluenceMatrix()
+	if err != nil {
+		return nil, err
+	}
 
 	// Seed: the core with maximum self-influence.
 	seed, best := 0, math.Inf(-1)
@@ -120,10 +141,14 @@ func (c *Calculator) WorstCase(n int) (float64, []int, error) {
 	active := []int{seed}
 	inSet := make([]bool, nb)
 	inSet[seed] = true
-	// rowSum[i] accumulates Σ_{j∈S} B[i][j].
+	// rowSum[i] accumulates Σ_{j∈S} B[i][j] in pick order, matching the
+	// accumulation order of Given for the same set.
 	rowSum := make([]float64, nb)
 	for i := 0; i < nb; i++ {
 		rowSum[i] = inf.At(i, seed)
+	}
+	if err := visit(1, rowSum); err != nil {
+		return nil, err
 	}
 	for len(active) < n {
 		// Current hottest candidate row (weighted by headroom).
@@ -151,8 +176,29 @@ func (c *Calculator) WorstCase(n int) (float64, []int, error) {
 		for i := 0; i < nb; i++ {
 			rowSum[i] += inf.At(i, pick)
 		}
+		if err := visit(len(active), rowSum); err != nil {
+			return nil, err
+		}
 	}
-	p, err := c.Given(active)
+	return active, nil
+}
+
+// WorstCase returns the worst-case TSP for n active cores — the TSP of
+// the most thermally adverse placement, found by the greedy worstWalk —
+// together with the adversarial placement itself.
+func (c *Calculator) WorstCase(n int) (float64, []int, error) {
+	var p float64
+	active, err := c.worstWalk(n, func(k int, rowSum []float64) error {
+		if k < n {
+			return nil
+		}
+		v, err := c.evalTSP(rowSum, k)
+		if err != nil {
+			return err
+		}
+		p = v
+		return nil
+	})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -168,7 +214,10 @@ func (c *Calculator) BestCase(n int) (float64, []int, error) {
 	if n <= 0 || n > nb {
 		return 0, nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
 	}
-	inf := c.model.InfluenceMatrix()
+	inf, err := c.model.InfluenceMatrix()
+	if err != nil {
+		return 0, nil, err
+	}
 	inSet := make([]bool, nb)
 	rowSum := make([]float64, nb)
 	var active []int
@@ -211,18 +260,27 @@ type TableEntry struct {
 
 // Table computes the worst-case TSP for every core count in [1, max],
 // the curve §5 describes ("as the number of active cores grows, the TSP
-// values decrease").
+// values decrease"). Because the greedy placement for n cores is a prefix
+// of the one for n+1, the whole table falls out of a single worstWalk:
+// every prefix is evaluated from the incrementally maintained row sums,
+// turning the former O(max) repeated walks (O(max²·cores²) influence
+// accumulations) into one O(max·cores²) pass with values bit-identical
+// to calling WorstCase per entry.
 func (c *Calculator) Table(max int) ([]TableEntry, error) {
 	if max <= 0 || max > c.model.NumBlocks() {
 		return nil, fmt.Errorf("tsp: table size %d out of range", max)
 	}
 	out := make([]TableEntry, 0, max)
-	for n := 1; n <= max; n++ {
-		p, _, err := c.WorstCase(n)
+	_, err := c.worstWalk(max, func(k int, rowSum []float64) error {
+		p, err := c.evalTSP(rowSum, k)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, TableEntry{ActiveCores: n, PerCoreW: p, TotalW: p * float64(n)})
+		out = append(out, TableEntry{ActiveCores: k, PerCoreW: p, TotalW: p * float64(k)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -299,3 +299,75 @@ func TestGivenLinearInHeadroomProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWorstCasePrefixConsistency pins the property the single-walk Table
+// relies on: the greedy n-core placement is a prefix of the max-core
+// placement, and Table's prefix-evaluated values are bit-identical to
+// calling WorstCase (and Given) per core count.
+func TestWorstCasePrefixConsistency(t *testing.T) {
+	c, err := New(model100(t), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const max = 40
+	_, full, err := c.WorstCase(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := c.Table(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != max {
+		t.Fatalf("table length %d", len(table))
+	}
+	for _, n := range []int{1, 2, 7, 25, max} {
+		p, active, err := c.WorstCase(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(active) != n {
+			t.Fatalf("WorstCase(%d) placed %d cores", n, len(active))
+		}
+		for i, a := range active {
+			if a != full[i] {
+				t.Fatalf("WorstCase(%d) not a prefix of WorstCase(%d) at %d: %d vs %d", n, max, i, a, full[i])
+			}
+		}
+		if table[n-1].PerCoreW != p {
+			t.Fatalf("Table entry %d = %v, WorstCase = %v", n, table[n-1].PerCoreW, p)
+		}
+		given, err := c.Given(active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if given != p {
+			t.Fatalf("Given(placement) = %v, WorstCase = %v", given, p)
+		}
+	}
+}
+
+func BenchmarkTSPWorstCase(b *testing.B) {
+	c, err := New(model100(b), 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the influence matrix so the benchmark isolates the greedy walk.
+	if _, _, err := c.WorstCase(1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("WorstCase100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.WorstCase(100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Table100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Table(100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
