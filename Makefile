@@ -41,15 +41,18 @@ bench:
 
 # The perf-trajectory harness: per-figure + dense-vs-sparse solver
 # benchmarks, written as one JSON report for cross-PR comparison.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench-report:
 	$(GO) run ./cmd/darksim bench -out $(BENCH_OUT)
 
 # One iteration of the thermal-solve benchmarks keeps the bench path
 # compiling and running under the tier-1 gate without paying full
-# benchmark time.
+# benchmark time, and the warm-influence assertion proves the
+# cross-request cache serves repeat platforms with zero CG solves.
 bench-smoke:
 	$(GO) test -bench=ThermalSolve -benchtime=1x -run='^$$' ./internal/thermal
+	$(GO) test -run='TestInfluenceWarmPathZeroSolves' -count=1 -v ./internal/thermal | grep -E 'TestInfluenceWarmPathZeroSolves|ok '
+
 
 # Short runs of the native fuzz targets ("go test -fuzz" takes exactly
 # one target per invocation); full fuzzing uses longer -fuzztime.
@@ -59,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzTableCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/report
 	$(GO) test -fuzz=FuzzServiceParams -fuzztime=$(FUZZTIME) -run='^$$' ./internal/service
 	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
+	$(GO) test -fuzz=FuzzCGBlock -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
 
 # The golden-corpus verification gate: recompute every figure and check
 # it against the embedded corpus, the paper's physics invariants and the

@@ -62,7 +62,7 @@ func BenchmarkFig9DsRem(b *testing.B) {
 }
 
 func BenchmarkFig10TSP(b *testing.B) {
-	runBench(b, func() (experiments.Renderer, error) { return experiments.Fig10() })
+	runBench(b, func() (experiments.Renderer, error) { return experiments.Fig10(context.Background()) })
 }
 
 func BenchmarkFig11BoostTransient(b *testing.B) {
@@ -102,7 +102,7 @@ func BenchmarkAblationHoldBand(b *testing.B) {
 }
 
 func BenchmarkAblationStrategies(b *testing.B) {
-	runBench(b, func() (experiments.Renderer, error) { return experiments.AblationStrategies() })
+	runBench(b, func() (experiments.Renderer, error) { return experiments.AblationStrategies(context.Background()) })
 }
 
 func BenchmarkAblationLadderStep(b *testing.B) {

@@ -159,7 +159,7 @@ func runVerify(ctx context.Context, args []string, parallel int, w io.Writer) er
 // cross-PR perf tracking.
 func runBench(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR5.json", "file the JSON report is written to ('-' for stdout)")
+	out := fs.String("out", "BENCH_PR6.json", "file the JSON report is written to ('-' for stdout)")
 	benchtime := fs.String("benchtime", "1x", "per-benchmark time or iteration budget (testing -benchtime syntax)")
 	figures := fs.Bool("figures", true, "include the per-figure experiment benchmarks")
 	fs.Usage = func() {

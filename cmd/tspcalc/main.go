@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,7 @@ func run(node tech.Node, cores int, tcrit float64, max, step int) error {
 		Columns: []string{"active cores", "TSP/core [W]", "total [W]"},
 	}
 	for n := step; n <= max; n += step {
-		entry, _, err := calc.WorstCase(n)
+		entry, _, err := calc.WorstCase(context.Background(), n)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,9 +28,10 @@ func main() {
 
 	// TSP falls as the active-core count grows: more heat sources, less
 	// headroom per source.
+	ctx := context.Background()
 	fmt.Println("worst-case TSP per core:")
 	for _, n := range []int{16, 32, 48, 64, 80, 100} {
-		budget, _, err := calc.WorstCase(n)
+		budget, _, err := calc.WorstCase(ctx, n)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -39,7 +41,7 @@ func main() {
 	// Mapping-aware TSP: a patterned placement earns a higher budget than
 	// the worst case for the same core count.
 	const active = 64
-	worst, _, err := calc.WorstCase(active)
+	worst, _, err := calc.WorstCase(ctx, active)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	patterned, err := calc.Given(pattern)
+	patterned, err := calc.Given(ctx, pattern)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 // it runs the repository's headline benchmarks — every paper figure plus
 // the dense-vs-sparse thermal-solver and TSP micro-benchmarks — through
 // testing.Benchmark and emits one machine-readable JSON report
-// (BENCH_PR5.json in CI) so successive PRs can be compared on ns/op,
+// (BENCH_PR6.json in CI) so successive PRs can be compared on ns/op,
 // allocs/op and solver iterations.
 package bench
 
@@ -63,6 +63,10 @@ var solverCoreCounts = []int{10, 32}
 
 // tspCoreSide sizes the TSP worst-case benchmark platform.
 const tspCoreSide = 32
+
+// influenceCoreSide sizes the influence-matrix fan-out benchmarks
+// (side² = 1024 cores, the ROADMAP target for interactive TSP service).
+const influenceCoreSide = 32
 
 // spec is one named benchmark; solver optionally snapshots the stats of
 // the model the final iteration used.
@@ -131,6 +135,20 @@ func (rep *Report) computeSpeedups() {
 	if okd && oks && s > 0 {
 		rep.Speedups[fmt.Sprintf("tsp_worstcase/cores=%d", cores)] = d / s
 	}
+	icores := influenceCoreSide * influenceCoreSide
+	col, okc := ns[fmt.Sprintf("InfluenceColumn/cores=%d", icores)]
+	blk, okb := ns[fmt.Sprintf("InfluenceBlock/cores=%d", icores)]
+	if okc && okb && blk > 0 {
+		rep.Speedups[fmt.Sprintf("influence_block/cores=%d", icores)] = col / blk
+	}
+	wrm, okw := ns[fmt.Sprintf("InfluenceWarm/cores=%d", icores)]
+	if okb && okw && wrm > 0 {
+		rep.Speedups[fmt.Sprintf("influence_warm/cores=%d", icores)] = blk / wrm
+	}
+	tw, okt := ns[fmt.Sprintf("TSPWorstCaseWarm/cores=%d", cores)]
+	if oks && okt && tw > 0 {
+		rep.Speedups[fmt.Sprintf("tsp_warm/cores=%d", cores)] = s / tw
+	}
 }
 
 // WriteJSON marshals the report with stable indentation.
@@ -162,7 +180,144 @@ func buildSpecs(ctx context.Context, opt Options) ([]spec, error) {
 		specs = append(specs, thermalSolveSpec(side, thermal.SolverDense), thermalSolveSpec(side, thermal.SolverSparse))
 	}
 	specs = append(specs, tspSpec(tspCoreSide, thermal.SolverDense), tspSpec(tspCoreSide, thermal.SolverSparse))
+	specs = append(specs,
+		influenceSpec(influenceCoreSide, 1),
+		influenceSpec(influenceCoreSide, 0),
+		influenceWarmSpec(influenceCoreSide),
+		tspWarmSpec(tspCoreSide),
+	)
 	return specs, nil
+}
+
+// influenceModel builds the sparse side×side-core model the influence
+// benchmarks share as a template (each iteration constructs its own).
+func influenceModel(b *testing.B, side, panel int) *thermal.Model {
+	b.Helper()
+	fp, err := floorplan.NewGrid(side, side, 5.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, side, side)
+	cfg.Solver = thermal.SolverSparse
+	cfg.InfluencePanel = panel
+	m, err := thermal.NewModel(fp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// influenceSpec measures a cold influence-matrix build on the sparse
+// path: panel 1 is PR 5's one-column-at-a-time fan-out, panel 0 the
+// default blocked multi-RHS width. Model construction and cache resets
+// run off the clock; only the column solves are timed.
+func influenceSpec(side, panel int) spec {
+	var last *thermal.Model
+	kind := "Block"
+	if panel == 1 {
+		kind = "Column"
+	}
+	name := fmt.Sprintf("Influence%s/cores=%d", kind, side*side)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				thermal.ResetInfluenceCache()
+				m := influenceModel(b, side, panel)
+				b.StartTimer()
+				if _, err := m.InfluenceMatrix(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+		},
+		solver: func() *thermal.SolverStats {
+			if last == nil {
+				return nil
+			}
+			st := last.SolverStats()
+			return &st
+		},
+	}
+}
+
+// influenceWarmSpec measures the warm influence path: the process-wide
+// cache already holds the platform's matrix, so a freshly constructed
+// model must serve InfluenceMatrix without any linear solves.
+func influenceWarmSpec(side int) spec {
+	var last *thermal.Model
+	name := fmt.Sprintf("InfluenceWarm/cores=%d", side*side)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			thermal.ResetInfluenceCache()
+			warm := influenceModel(b, side, 0)
+			if _, err := warm.InfluenceMatrix(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := influenceModel(b, side, 0)
+				b.StartTimer()
+				if _, err := m.InfluenceMatrix(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+		},
+		solver: func() *thermal.SolverStats {
+			if last == nil {
+				return nil
+			}
+			st := last.SolverStats()
+			return &st
+		},
+	}
+}
+
+// tspWarmSpec measures the /v1/tsp request path with a warm influence
+// cache: model construction, calculator setup and the full worst-case
+// greedy walk — everything a request pays except the (cached) influence
+// build.
+func tspWarmSpec(side int) spec {
+	var last *thermal.Model
+	cores := side * side
+	name := fmt.Sprintf("TSPWorstCaseWarm/cores=%d", cores)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			thermal.ResetInfluenceCache()
+			warm := influenceModel(b, side, 0)
+			if _, err := warm.InfluenceMatrix(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := influenceModel(b, side, 0)
+				c, err := tsp.New(m, 80)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c.WorstCase(context.Background(), cores); err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+		},
+		solver: func() *thermal.SolverStats {
+			if last == nil {
+				return nil
+			}
+			st := last.SolverStats()
+			return &st
+		},
+	}
 }
 
 // thermalSolveSpec measures a cold steady-state solve — model assembly,
@@ -226,6 +381,9 @@ func tspSpec(side int, k thermal.SolverKind) spec {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				// A cold run must not hit the process-wide influence
+				// cache warmed by a previous iteration or spec.
+				thermal.ResetInfluenceCache()
 				m, err := thermal.NewModel(fp, cfg)
 				if err != nil {
 					b.Fatal(err)
@@ -234,7 +392,7 @@ func tspSpec(side int, k thermal.SolverKind) spec {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := c.WorstCase(cores); err != nil {
+				if _, _, err := c.WorstCase(context.Background(), cores); err != nil {
 					b.Fatal(err)
 				}
 				last = m

@@ -50,6 +50,10 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 			{Name: "ThermalSolveSparse/cores=1024", NsPerOp: 10},
 			{Name: "TSPWorstCaseDense/cores=1024", NsPerOp: 50},
 			{Name: "TSPWorstCaseSparse/cores=1024", NsPerOp: 25},
+			{Name: "TSPWorstCaseWarm/cores=1024", NsPerOp: 5},
+			{Name: "InfluenceColumn/cores=1024", NsPerOp: 40},
+			{Name: "InfluenceBlock/cores=1024", NsPerOp: 8},
+			{Name: "InfluenceWarm/cores=1024", NsPerOp: 2},
 		},
 		Speedups: make(map[string]float64),
 	}
@@ -59,6 +63,15 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 	}
 	if got := rep.Speedups["tsp_worstcase/cores=1024"]; got != 2 {
 		t.Errorf("tsp speedup = %v", got)
+	}
+	if got := rep.Speedups["influence_block/cores=1024"]; got != 5 {
+		t.Errorf("influence block speedup = %v", got)
+	}
+	if got := rep.Speedups["influence_warm/cores=1024"]; got != 4 {
+		t.Errorf("influence warm speedup = %v", got)
+	}
+	if got := rep.Speedups["tsp_warm/cores=1024"]; got != 5 {
+		t.Errorf("tsp warm speedup = %v", got)
 	}
 	// Families missing one path produce no entry.
 	if _, ok := rep.Speedups["thermal_solve/cores=100"]; ok {
@@ -72,7 +85,7 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatalf("report JSON does not round-trip: %v", err)
 	}
-	if len(back.Results) != 4 || back.Speedups["thermal_solve/cores=1024"] != 10 {
+	if len(back.Results) != 8 || back.Speedups["thermal_solve/cores=1024"] != 10 {
 		t.Errorf("round-trip lost data: %+v", back)
 	}
 }

@@ -51,7 +51,7 @@ func AblationRegistry() []Experiment {
 		{"ab-rotation", "Spatio-temporal rotation vs static mapping (peak temperature)", func(context.Context) (Renderer, error) { return AblationRotation() }},
 		{"ab-grid", "Thermal model grid-resolution sensitivity", func(context.Context) (Renderer, error) { return AblationGrid() }},
 		{"ab-holdband", "Boost controller hold-band sensitivity", func(context.Context) (Renderer, error) { return AblationHoldBand() }},
-		{"ab-strategy", "Placement strategies: thermally safe core counts", func(context.Context) (Renderer, error) { return AblationStrategies() }},
+		{"ab-strategy", "Placement strategies: thermally safe core counts", func(ctx context.Context) (Renderer, error) { return AblationStrategies(ctx) }},
 		{"ab-ladder", "DVFS ladder granularity vs estimation quality", func(context.Context) (Renderer, error) { return AblationLadderStep() }},
 		{"ab-aging", "Aging balance: rotation vs static mapping", func(context.Context) (Renderer, error) { return AblationAging() }},
 		{"ab-baseline", "ISCA'11 power-budget baseline vs temperature-aware estimation", func(context.Context) (Renderer, error) { return Baseline() }},
@@ -392,7 +392,7 @@ type AblationStrategiesResult struct {
 // of swaptions cores that stay below TDTM at 3.6 GHz, plus the uniform
 // TSP budget of that strategy's placement — the quantitative version of
 // Figure 8's patterning argument.
-func AblationStrategies() (*AblationStrategiesResult, error) {
+func AblationStrategies(ctx context.Context) (*AblationStrategiesResult, error) {
 	p, err := platformFor(tech.Node16, 100)
 	if err != nil {
 		return nil, err
@@ -408,6 +408,13 @@ func AblationStrategies() (*AblationStrategiesResult, error) {
 	res := &AblationStrategiesResult{FGHz: 3.6}
 	names := []string{"contiguous", "checkerboard", "periphery", "maxspread"}
 	strategies := mapping.Strategies()
+	// One incremental TSP updater serves every strategy: consecutive
+	// placements overlap heavily, so SetActive applies row-sum deltas
+	// for the membership changes instead of rebuilding each set.
+	upd, err := calc.Incremental(ctx)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range names {
 		strat := strategies[name]
 		n, err := p.MaxCoresUnderTemp(a, res.FGHz, strat)
@@ -420,14 +427,17 @@ func AblationStrategies() (*AblationStrategiesResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			if row.TSPatMax, err = calc.Given(cores); err != nil {
+			if err := upd.SetActive(cores); err != nil {
+				return nil, err
+			}
+			if row.TSPatMax, err = upd.TSP(); err != nil {
 				return nil, err
 			}
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	// The TSP best-case greedy as an upper-bound reference.
-	bestBudget, bestCores, err := calc.BestCase(61)
+	bestBudget, bestCores, err := calc.BestCase(ctx, 61)
 	if err != nil {
 		return nil, err
 	}

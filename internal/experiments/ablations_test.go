@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationRegistry(t *testing.T) {
 	reg := AblationRegistry()
@@ -101,7 +104,7 @@ func TestAblationHoldBand(t *testing.T) {
 }
 
 func TestAblationStrategies(t *testing.T) {
-	r, err := AblationStrategies()
+	r, err := AblationStrategies(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -197,7 +197,7 @@ func Registry() []Experiment {
 		{"fig7", "DVFS scenarios: performance and dark silicon (Figure 7)", func(context.Context) (Renderer, error) { return Fig7() }},
 		{"fig8", "Dark silicon patterning vs contiguous mapping (Figure 8)", func(context.Context) (Renderer, error) { return Fig8() }},
 		{"fig9", "TDPmap vs DsRem (Figure 9)", func(context.Context) (Renderer, error) { return Fig9() }},
-		{"fig10", "Performance under TSP across nodes (Figure 10)", func(context.Context) (Renderer, error) { return Fig10() }},
+		{"fig10", "Performance under TSP across nodes (Figure 10)", func(ctx context.Context) (Renderer, error) { return Fig10(ctx) }},
 		{"fig11", "Boosting vs constant frequency transients (Figure 11)", func(ctx context.Context) (Renderer, error) { return Fig11(ctx, DefaultFig11Options()) }},
 		{"fig12", "Boost/constant scaling with active cores (Figure 12)", func(ctx context.Context) (Renderer, error) { return Fig12(ctx, DefaultFig12Options()) }},
 		{"fig13", "Boost/constant across applications @11nm (Figure 13)", func(ctx context.Context) (Renderer, error) { return Fig13(ctx, DefaultFig13Options()) }},

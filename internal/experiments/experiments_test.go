@@ -272,7 +272,7 @@ func TestFig9DsRemBeatsTDPmap(t *testing.T) {
 }
 
 func TestFig10TSPScalingTrend(t *testing.T) {
-	r, err := Fig10()
+	r, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

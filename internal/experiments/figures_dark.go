@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -596,7 +597,7 @@ type Fig10Result struct {
 // count (20/30/40 % dark silicon at 16/11/8 nm), then selects for every
 // application the fastest ladder level whose per-core power fits the TSP
 // budget and accumulates the resulting performance of an equal mix.
-func Fig10() (*Fig10Result, error) {
+func Fig10(ctx context.Context) (*Fig10Result, error) {
 	targets := []struct {
 		node tech.Node
 		dark float64
@@ -617,7 +618,7 @@ func Fig10() (*Fig10Result, error) {
 			return nil, err
 		}
 		active := int(float64(cores) * (1 - tg.dark))
-		budget, _, err := calc.WorstCase(active)
+		budget, _, err := calc.WorstCase(ctx, active)
 		if err != nil {
 			return nil, err
 		}

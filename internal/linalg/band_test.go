@@ -1,0 +1,243 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gridSPDCSR builds the 5-point Laplacian of an nx×ny grid plus a small
+// diagonal shift — the structure the thermal models produce, and the one
+// profile orderings are designed for.
+func gridSPDCSR(nx, ny int) *CSR {
+	n := nx * ny
+	b := NewCSRBuilder(n)
+	at := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := at(x, y)
+			b.Add(i, i, 4.5)
+			if x > 0 {
+				b.Add(i, at(x-1, y), -1)
+			}
+			if x < nx-1 {
+				b.Add(i, at(x+1, y), -1)
+			}
+			if y > 0 {
+				b.Add(i, at(x, y-1), -1)
+			}
+			if y < ny-1 {
+				b.Add(i, at(x, y+1), -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func envelopeOf(a *CSR, order []int) int {
+	inv := make([]int, a.N)
+	for k, oi := range order {
+		inv[oi] = k
+	}
+	total := 0
+	for k, oi := range order {
+		lo := k
+		for e := a.RowPtr[oi]; e < a.RowPtr[oi+1]; e++ {
+			if j := inv[a.Col[e]]; j < lo {
+				lo = j
+			}
+		}
+		total += k - lo + 1
+	}
+	return total
+}
+
+// TestProfileOrderPermutation checks the ordering is a permutation and
+// actually shrinks the envelope of a grid numbered in a hostile order.
+func TestProfileOrderPermutation(t *testing.T) {
+	a := gridSPDCSR(20, 30)
+	order := ProfileOrder(a)
+	if len(order) != a.N {
+		t.Fatalf("order has %d entries for %d nodes", len(order), a.N)
+	}
+	seen := make([]bool, a.N)
+	for _, v := range order {
+		if v < 0 || v >= a.N || seen[v] {
+			t.Fatalf("order is not a permutation: %v at fault", v)
+		}
+		seen[v] = true
+	}
+	natural := make([]int, a.N)
+	for i := range natural {
+		natural[i] = i
+	}
+	// Row-major numbering of a 20-wide grid already has a tight band;
+	// shuffle it to give the heuristic something hostile.
+	rng := rand.New(rand.NewSource(5))
+	shuffled := rng.Perm(a.N)
+	if got, bad := envelopeOf(a, order), envelopeOf(a, shuffled); got >= bad {
+		t.Errorf("profile order envelope %d not below shuffled %d", got, bad)
+	}
+	if got, nat := envelopeOf(a, order), envelopeOf(a, natural); got > nat {
+		t.Errorf("profile order envelope %d worse than natural row-major %d", got, nat)
+	}
+}
+
+// TestProfileOrderDisconnected covers multiple components, including an
+// isolated node.
+func TestProfileOrderDisconnected(t *testing.T) {
+	b := NewCSRBuilder(7)
+	// Component {0,1,2} chain, component {3,4,5} chain, isolated 6.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		b.Add(e[0], e[0], 3)
+		b.Add(e[1], e[1], 3)
+		b.Add(e[0], e[1], -1)
+		b.Add(e[1], e[0], -1)
+	}
+	b.Add(6, 6, 3)
+	a := b.Build()
+	order := ProfileOrder(a)
+	seen := make([]bool, a.N)
+	for _, v := range order {
+		if v < 0 || v >= a.N || seen[v] {
+			t.Fatalf("order is not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+}
+
+// TestEnvelopeCholeskyExact pins the factorization against dense ground
+// truth: the preconditioner is an exact solve, so A·(E⁻¹·r) must equal r
+// to roundoff — under both the natural and the profile ordering.
+func TestEnvelopeCholeskyExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 17, 60} {
+		a := randomSPDCSR(rng, n, 0.2)
+		for _, perm := range [][]int{nil, ProfileOrder(a)} {
+			e, err := NewEnvelopeCholesky(a, perm, 0)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			r := NewVector(n)
+			for i := range r {
+				r[i] = rng.NormFloat64()
+			}
+			z := NewVector(n)
+			e.Apply(z, r)
+			back := NewVector(n)
+			a.MulVec(z, back)
+			for i := range r {
+				if math.Abs(back[i]-r[i]) > 1e-9*(1+math.Abs(r[i])) {
+					t.Fatalf("n=%d perm=%v: A·E⁻¹·r differs at %d: %v vs %v", n, perm != nil, i, back[i], r[i])
+				}
+			}
+			// Aliasing: Apply(r, r) must give the same solution.
+			alias := append(Vector(nil), r...)
+			e.Apply(alias, alias)
+			for i := range z {
+				if alias[i] != z[i] {
+					t.Fatalf("aliased Apply differs at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeCholeskyPanel checks the panel sweep is bit-identical to
+// per-column Apply calls, including partially filled panels.
+func TestEnvelopeCholeskyPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPDCSR(rng, 50, 0.1)
+	e, err := NewEnvelopeCholesky(a, ProfileOrder(a), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	for _, ka := range []int{1, 3, k} {
+		r := make([]float64, a.N*k)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		z := make([]float64, a.N*k)
+		e.applyPanel(z, r, k, ka)
+		col := NewVector(a.N)
+		zc := NewVector(a.N)
+		for c := 0; c < ka; c++ {
+			for i := 0; i < a.N; i++ {
+				col[i] = r[i*k+c]
+			}
+			e.Apply(zc, col)
+			for i := 0; i < a.N; i++ {
+				if z[i*k+c] != zc[i] {
+					t.Fatalf("ka=%d: panel column %d differs at %d: %v vs %v", ka, c, i, z[i*k+c], zc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeCholeskyErrors covers the rejection paths: bad orderings,
+// the envelope cap, and non-SPD input.
+func TestEnvelopeCholeskyErrors(t *testing.T) {
+	a := gridSPDCSR(6, 6)
+	if _, err := NewEnvelopeCholesky(a, []int{0, 1}, 0); !errors.Is(err, ErrDimension) {
+		t.Errorf("short ordering: %v", err)
+	}
+	bad := make([]int, a.N)
+	if _, err := NewEnvelopeCholesky(a, bad, 0); !errors.Is(err, ErrOptions) {
+		t.Errorf("duplicate ordering: %v", err)
+	}
+	if _, err := NewEnvelopeCholesky(a, nil, 1); !errors.Is(err, ErrBandwidth) {
+		t.Errorf("cap of one entry per row: %v", err)
+	}
+	// An indefinite matrix must be rejected at the pivot.
+	b := NewCSRBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 5)
+	b.Add(1, 0, 5)
+	b.Add(1, 1, 1)
+	if _, err := NewEnvelopeCholesky(b.Build(), nil, 0); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("indefinite matrix: %v", err)
+	}
+}
+
+// TestCGBlockWithEnvelopePrec is the configuration the influence fan-out
+// runs: blocked CG under the exact factorization must converge in one or
+// two iterations and still satisfy the residual contract.
+func TestCGBlockWithEnvelopePrec(t *testing.T) {
+	a := gridSPDCSR(15, 15)
+	env, err := NewEnvelopeCholesky(a, ProfileOrder(a), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const k = 4
+	b := make([]Vector, k)
+	for c := range b {
+		b[c] = NewVector(a.N)
+		for i := range b[c] {
+			b[c][i] = rng.NormFloat64()
+		}
+	}
+	x, stats, err := SolveCGBlock(a, b, CGOptions{Precond: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := NewVector(a.N)
+	for c := range x {
+		if stats[c].Iterations > 2 {
+			t.Errorf("column %d took %d iterations under an exact preconditioner", c, stats[c].Iterations)
+		}
+		a.MulVec(x[c], ax)
+		num, den := 0.0, 0.0
+		for i := range ax {
+			d := ax[i] - b[c][i]
+			num += d * d
+			den += b[c][i] * b[c][i]
+		}
+		if math.Sqrt(num) > 1e-9*math.Sqrt(den) {
+			t.Errorf("column %d residual %g too large", c, math.Sqrt(num)/math.Sqrt(den))
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the blocked multi-RHS conjugate-gradient solver:
+// k right-hand sides advance through the CG iteration together, sharing
+// every sparse matrix-vector product and preconditioner sweep. The win is
+// not mathematical — each column runs its textbook CG recurrence with its
+// own scalars — but architectural: one traversal of the CSR index
+// structure (and of the IC(0) factor) serves k columns whose panel
+// entries are contiguous in memory, so the index/branch overhead that
+// dominates a sparse sweep is amortized k-fold and the inner loops
+// vectorize. Because every floating-point operation of a column is
+// performed in exactly the same order as in CGSolver.Solve, the blocked
+// solve is bit-identical to k independent solves; converged columns are
+// deflated (compacted out of the panel) so a mixed-convergence panel pays
+// only for the columns still iterating.
+//
+// Panels are stored row-major with a fixed stride: element (i, c) of a
+// panel lives at [i*stride+c], keeping one node's k values adjacent —
+// the layout the shared sweeps stream over.
+
+// ColumnError reports the failure of one right-hand side of a block
+// solve. Col indexes the b/x slices passed to SolveBlock. Unwrap exposes
+// the underlying cause (ErrNoConvergence, ErrNotSPD, ...).
+type ColumnError struct {
+	Col int
+	Err error
+}
+
+// Error implements the error interface.
+func (e *ColumnError) Error() string {
+	return fmt.Sprintf("linalg: block CG column %d: %v", e.Col, e.Err)
+}
+
+// Unwrap returns the underlying per-column error.
+func (e *ColumnError) Unwrap() error { return e.Err }
+
+// panelApplier is implemented by preconditioners that can apply
+// themselves to a whole panel in one sweep. IC0 and Jacobi implement it;
+// other Preconditioner implementations fall back to column-at-a-time
+// Apply calls through scratch vectors.
+type panelApplier interface {
+	applyPanel(z, r []float64, stride, ka int)
+}
+
+// applyPanel applies the Jacobi preconditioner to the ka leading panel
+// columns: z(i,c) = invDiag[i]·r(i,c).
+func (j *Jacobi) applyPanel(z, r []float64, stride, ka int) {
+	for i, d := range j.invDiag {
+		zi := z[i*stride : i*stride+ka]
+		ri := r[i*stride : i*stride+ka : i*stride+ka]
+		for c := range zi {
+			zi[c] = d * ri[c]
+		}
+	}
+}
+
+// applyPanel runs the IC(0) forward and backward triangular sweeps over
+// the ka leading panel columns. The per-column arithmetic (order of
+// subtractions and the final divisions) matches Apply exactly, so a
+// panel application is bit-identical to ka scalar ones.
+func (m *IC0) applyPanel(z, r []float64, stride, ka int) {
+	l, lt := m.l, m.lt
+	// Forward: L·y = r (diagonal last in each row).
+	for i := 0; i < l.N; i++ {
+		lo, hi := l.RowPtr[i], l.RowPtr[i+1]
+		zi := z[i*stride : i*stride+ka]
+		copy(zi, r[i*stride:i*stride+ka])
+		for k := lo; k < hi-1; k++ {
+			v := l.Val[k]
+			zj := z[l.Col[k]*stride : l.Col[k]*stride+ka : l.Col[k]*stride+ka]
+			for c := range zi {
+				zi[c] -= v * zj[c]
+			}
+		}
+		d := l.Val[hi-1]
+		for c := range zi {
+			zi[c] /= d
+		}
+	}
+	// Backward: Lᵀ·z = y in place (diagonal first in each row).
+	for i := lt.N - 1; i >= 0; i-- {
+		lo, hi := lt.RowPtr[i], lt.RowPtr[i+1]
+		zi := z[i*stride : i*stride+ka]
+		for k := lo + 1; k < hi; k++ {
+			v := lt.Val[k]
+			zj := z[lt.Col[k]*stride : lt.Col[k]*stride+ka : lt.Col[k]*stride+ka]
+			for c := range zi {
+				zi[c] -= v * zj[c]
+			}
+		}
+		d := lt.Val[lo]
+		for c := range zi {
+			zi[c] /= d
+		}
+	}
+}
+
+// CGBlockSolver solves up to k right-hand sides per pass against one
+// matrix, sharing the matrix and preconditioner sweeps across the panel
+// and reusing its scratch panels across SolveBlock calls. Like CGSolver
+// it is not safe for concurrent use; pool one per goroutine (matrix and
+// preconditioner are immutable and shared).
+type CGBlockSolver struct {
+	a       *CSR
+	prec    Preconditioner
+	tol     float64
+	maxIter int
+	k       int // panel capacity == stride
+
+	x, r, z, p, ap []float64 // n×k panels, element (i,c) at [i*k+c]
+
+	// Per-slot state; slots [0, ka) are the still-iterating columns.
+	col          []int // slot → original column index
+	bnorm        []float64
+	rz           []float64
+	alpha, beta  []float64
+	pap, rr, rzn []float64 // fused-dot scratch (see panelDots)
+	zc, rc       Vector    // scratch for non-panel preconditioners
+}
+
+// NewCGBlockSolver validates the options, builds the preconditioner
+// (IC(0) with Jacobi fallback unless overridden) and allocates the panel
+// scratch for up to k simultaneous right-hand sides.
+func NewCGBlockSolver(a *CSR, k int, opt CGOptions) (*CGBlockSolver, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: block width %d", ErrOptions, k)
+	}
+	opt, err := opt.withDefaults(a.N)
+	if err != nil {
+		return nil, err
+	}
+	prec := opt.Precond
+	if prec == nil {
+		ic, err := NewIC0(a)
+		if err == nil {
+			prec = ic
+		} else {
+			j, jerr := NewJacobi(a)
+			if jerr != nil {
+				return nil, jerr
+			}
+			prec = j
+		}
+	}
+	n := a.N
+	return &CGBlockSolver{
+		a:       a,
+		prec:    prec,
+		tol:     opt.Tol,
+		maxIter: opt.MaxIter,
+		k:       k,
+		x:       make([]float64, n*k),
+		r:       make([]float64, n*k),
+		z:       make([]float64, n*k),
+		p:       make([]float64, n*k),
+		ap:      make([]float64, n*k),
+		col:     make([]int, k),
+		bnorm:   make([]float64, k),
+		rz:      make([]float64, k),
+		alpha:   make([]float64, k),
+		beta:    make([]float64, k),
+		pap:     make([]float64, k),
+		rr:      make([]float64, k),
+		rzn:     make([]float64, k),
+	}, nil
+}
+
+// Width returns the panel capacity k.
+func (s *CGBlockSolver) Width() int { return s.k }
+
+// Preconditioner returns the preconditioner the solver settled on.
+func (s *CGBlockSolver) Preconditioner() Preconditioner { return s.prec }
+
+// mulPanel computes y = A·x over the ka leading panel columns, one CSR
+// traversal for the whole panel.
+func (s *CGBlockSolver) mulPanel(x, y []float64, ka int) {
+	a, k := s.a, s.k
+	for i := 0; i < a.N; i++ {
+		yi := y[i*k : i*k+ka]
+		for c := range yi {
+			yi[c] = 0
+		}
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			v := a.Val[kk]
+			xj := x[a.Col[kk]*k : a.Col[kk]*k+ka : a.Col[kk]*k+ka]
+			for c := range yi {
+				yi[c] += v * xj[c]
+			}
+		}
+	}
+}
+
+// applyPrec computes z = M⁻¹·r over the ka leading panel columns, using
+// the preconditioner's panel sweep when available.
+func (s *CGBlockSolver) applyPrec(ka int) {
+	if pa, ok := s.prec.(panelApplier); ok {
+		pa.applyPanel(s.z, s.r, s.k, ka)
+		return
+	}
+	n := s.a.N
+	if s.zc == nil {
+		s.zc, s.rc = NewVector(n), NewVector(n)
+	}
+	for c := 0; c < ka; c++ {
+		for i := 0; i < n; i++ {
+			s.rc[i] = s.r[i*s.k+c]
+		}
+		s.prec.Apply(s.zc, s.rc)
+		for i := 0; i < n; i++ {
+			s.z[i*s.k+c] = s.zc[i]
+		}
+	}
+}
+
+// panelDots computes out[c] = a(·,c)·b(·,c) for every active slot in ONE
+// contiguous pass over the panels, instead of ka stride-k passes that
+// touch one float per cache line. Each column's sum still accumulates in
+// ascending node order, so the values are bit-identical to Vector.Dot on
+// the unpacked columns.
+func (s *CGBlockSolver) panelDots(a, b, out []float64, ka int) {
+	for c := 0; c < ka; c++ {
+		out[c] = 0
+	}
+	k := s.k
+	for i := 0; i < s.a.N; i++ {
+		base := i * k
+		av := a[base : base+ka]
+		bv := b[base : base+ka : base+ka]
+		for c := range av {
+			out[c] += av[c] * bv[c]
+		}
+	}
+}
+
+// deflate retires panel slot c by moving the last active slot (ka-1)
+// into it. The caller copies slot c's solution out first.
+func (s *CGBlockSolver) deflate(c, ka int) {
+	last := ka - 1
+	if c != last {
+		k := s.k
+		for i := 0; i < s.a.N; i++ {
+			base := i * k
+			s.x[base+c] = s.x[base+last]
+			s.r[base+c] = s.r[base+last]
+			s.z[base+c] = s.z[base+last]
+			s.p[base+c] = s.p[base+last]
+			s.ap[base+c] = s.ap[base+last]
+		}
+		s.col[c] = s.col[last]
+		s.bnorm[c] = s.bnorm[last]
+		s.rz[c] = s.rz[last]
+		// alpha, pap and rr are consumed by loops that themselves deflate
+		// (SPD breakdown, convergence), so they migrate with the slot.
+		s.alpha[c] = s.alpha[last]
+		s.pap[c] = s.pap[last]
+		s.rr[c] = s.rr[last]
+	}
+}
+
+// copyOut writes panel slot c's iterate back into the caller's column.
+func (s *CGBlockSolver) copyOut(x []Vector, c int) {
+	out := x[s.col[c]]
+	for i := 0; i < s.a.N; i++ {
+		out[i] = s.x[i*s.k+c]
+	}
+}
+
+// recordFailure folds a per-column failure into the running first-error:
+// the lowest original column index wins, keeping the reported error
+// deterministic regardless of deflation order.
+func recordFailure(first *ColumnError, col int, err error) *ColumnError {
+	if first == nil || col < first.Col {
+		return &ColumnError{Col: col, Err: err}
+	}
+	return first
+}
+
+// SolveBlock runs preconditioned CG on A·x[c] = b[c] for every column,
+// advancing all columns one iteration per shared matrix/preconditioner
+// application. x columns are both initial guesses and results. Columns
+// converge (and stop costing work) independently; the returned stats are
+// per column and valid even on failure. When one or more columns fail
+// (non-convergence, SPD breakdown), the remaining columns still run to
+// completion and the error is a *ColumnError naming the lowest-indexed
+// failing column.
+func (s *CGBlockSolver) SolveBlock(b, x []Vector) ([]CGStats, error) {
+	nb := len(b)
+	if nb == 0 {
+		return nil, nil
+	}
+	if nb > s.k {
+		return nil, fmt.Errorf("%w: %d right-hand sides on a width-%d block solver", ErrDimension, nb, s.k)
+	}
+	if len(x) != nb {
+		return nil, fmt.Errorf("%w: %d right-hand sides, %d solution columns", ErrDimension, nb, len(x))
+	}
+	n, k := s.a.N, s.k
+	for c := 0; c < nb; c++ {
+		if len(b[c]) != n || len(x[c]) != n {
+			return nil, fmt.Errorf("%w: block CG n=%d rhs[%d]=%d x[%d]=%d", ErrDimension, n, c, len(b[c]), c, len(x[c]))
+		}
+	}
+	stats := make([]CGStats, nb)
+	var firstErr *ColumnError
+
+	// Pack the warm starts and compute the initial residuals R = B − A·X
+	// with one panel product; zero right-hand sides resolve immediately
+	// (x = 0), matching CGSolver. An all-zero panel of warm starts — the
+	// common cold-start case — skips the product: A·0 is exactly +0 and
+	// b−0 returns b's bits, so the shortcut changes nothing downstream.
+	ka := 0
+	coldStart := true
+	for c := 0; c < nb; c++ {
+		bn := b[c].Norm2()
+		if bn == 0 {
+			x[c].Fill(0)
+			continue
+		}
+		s.col[ka] = c
+		s.bnorm[ka] = bn
+		for i := 0; i < n; i++ {
+			v := x[c][i]
+			s.x[i*k+ka] = v
+			if v != 0 {
+				coldStart = false
+			}
+		}
+		ka++
+	}
+	if ka == 0 {
+		return stats, nil
+	}
+	if coldStart {
+		for c := 0; c < ka; c++ {
+			bc := b[s.col[c]]
+			for i := 0; i < n; i++ {
+				s.r[i*k+c] = bc[i]
+			}
+		}
+	} else {
+		s.mulPanel(s.x, s.ap, ka)
+		for c := 0; c < ka; c++ {
+			bc := b[s.col[c]]
+			for i := 0; i < n; i++ {
+				s.r[i*k+c] = bc[i] - s.ap[i*k+c]
+			}
+		}
+	}
+	// Columns already at tolerance exit with zero iterations.
+	s.panelDots(s.r, s.r, s.rr, ka)
+	for c := ka - 1; c >= 0; c-- {
+		res := math.Sqrt(s.rr[c])
+		if res <= s.tol*s.bnorm[c] {
+			stats[s.col[c]] = CGStats{Residual: res / s.bnorm[c]}
+			s.copyOut(x, c)
+			s.deflate(c, ka)
+			ka--
+		}
+	}
+	if ka == 0 {
+		return stats, nil
+	}
+	s.applyPrec(ka)
+	copy(s.p[:n*k], s.z[:n*k])
+	s.panelDots(s.r, s.z, s.rz, ka)
+
+	for iter := 1; iter <= s.maxIter && ka > 0; iter++ {
+		s.mulPanel(s.p, s.ap, ka)
+		// Per-column step sizes; SPD breakdowns deflate with an error.
+		s.panelDots(s.p, s.ap, s.pap, ka)
+		for c := ka - 1; c >= 0; c-- {
+			pap := s.pap[c]
+			if pap <= 0 {
+				col := s.col[c]
+				stats[col] = CGStats{Iterations: iter}
+				firstErr = recordFailure(firstErr, col,
+					fmt.Errorf("%w: p·Ap = %g at iteration %d", ErrNotSPD, pap, iter))
+				s.copyOut(x, c)
+				s.deflate(c, ka)
+				ka--
+				continue
+			}
+			s.alpha[c] = s.rz[c] / pap
+		}
+		if ka == 0 {
+			break
+		}
+		// X += α·P, R −= α·AP in one pass over the panel.
+		for i := 0; i < n; i++ {
+			base := i * k
+			for c := 0; c < ka; c++ {
+				s.x[base+c] += s.alpha[c] * s.p[base+c]
+				s.r[base+c] -= s.alpha[c] * s.ap[base+c]
+			}
+		}
+		// Convergence checks, highest slot first so deflation does not
+		// disturb the slots still to be checked.
+		s.panelDots(s.r, s.r, s.rr, ka)
+		for c := ka - 1; c >= 0; c-- {
+			res := math.Sqrt(s.rr[c])
+			if res <= s.tol*s.bnorm[c] {
+				stats[s.col[c]] = CGStats{Iterations: iter, Residual: res / s.bnorm[c]}
+				s.copyOut(x, c)
+				s.deflate(c, ka)
+				ka--
+			}
+		}
+		if ka == 0 {
+			break
+		}
+		s.applyPrec(ka)
+		s.panelDots(s.r, s.z, s.rzn, ka)
+		for c := 0; c < ka; c++ {
+			s.beta[c] = s.rzn[c] / s.rz[c]
+			s.rz[c] = s.rzn[c]
+		}
+		for i := 0; i < n; i++ {
+			base := i * k
+			for c := 0; c < ka; c++ {
+				s.p[base+c] = s.z[base+c] + s.beta[c]*s.p[base+c]
+			}
+		}
+	}
+
+	// Columns still active exhausted the iteration budget.
+	s.panelDots(s.r, s.r, s.rr, ka)
+	for c := ka - 1; c >= 0; c-- {
+		col := s.col[c]
+		res := math.Sqrt(s.rr[c])
+		stats[col] = CGStats{Iterations: s.maxIter, Residual: res / s.bnorm[c]}
+		firstErr = recordFailure(firstErr, col,
+			fmt.Errorf("%w after %d iterations (residual %.3g)", ErrNoConvergence, s.maxIter, res/s.bnorm[c]))
+		s.copyOut(x, c)
+		s.deflate(c, ka)
+		ka--
+	}
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+// SolveCGBlock solves the k systems A·x[c] = b[c] with one blocked
+// preconditioned-CG pass (IC(0), falling back to Jacobi) and zero initial
+// guesses. Callers with many panels should hold a CGBlockSolver instead
+// to reuse the preconditioner and panel scratch.
+func SolveCGBlock(a *CSR, b []Vector, opt CGOptions) ([]Vector, []CGStats, error) {
+	if len(b) == 0 {
+		return nil, nil, nil
+	}
+	s, err := NewCGBlockSolver(a, len(b), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]Vector, len(b))
+	for c := range x {
+		x[c] = NewVector(a.N)
+	}
+	stats, err := s.SolveBlock(b, x)
+	if err != nil {
+		return x, stats, err
+	}
+	return x, stats, nil
+}

@@ -1,0 +1,349 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds an n×n strictly diagonally dominant symmetric matrix
+// (hence SPD) in CSR form with the given off-diagonal density.
+func randomSPDCSR(rng *rand.Rand, n int, density float64) *CSR {
+	b := NewCSRBuilder(n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				v := 2*rng.Float64() - 1
+				b.Add(i, j, v)
+				b.Add(j, i, v)
+				rowAbs[i] += math.Abs(v)
+				rowAbs[j] += math.Abs(v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return b.Build()
+}
+
+// TestCGBlockMatchesPerColumn is the core differential: a blocked solve
+// must reproduce k independent CGSolver solves. The design claim is
+// stronger than a tolerance — per-column arithmetic is performed in the
+// same order, so the iterates are bit-identical — but the test asserts
+// the documented 1e-9 contract and reports exact mismatches separately.
+func TestCGBlockMatchesPerColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 40, 120} {
+		for _, k := range []int{1, 3, 8} {
+			a := randomSPDCSR(rng, n, 0.15)
+			b := make([]Vector, k)
+			for c := range b {
+				b[c] = NewVector(n)
+				for i := range b[c] {
+					b[c][i] = 2*rng.Float64() - 1
+				}
+			}
+			xb, sb, err := SolveCGBlock(a, b, CGOptions{Tol: 1e-11})
+			if err != nil {
+				t.Fatalf("n=%d k=%d: block solve: %v", n, k, err)
+			}
+			for c := range b {
+				xc, sc, err := SolveCG(a, b[c], CGOptions{Tol: 1e-11})
+				if err != nil {
+					t.Fatalf("n=%d col %d: per-column solve: %v", n, c, err)
+				}
+				if sb[c].Iterations != sc.Iterations {
+					t.Errorf("n=%d k=%d col %d: block %d iterations, per-column %d",
+						n, k, c, sb[c].Iterations, sc.Iterations)
+				}
+				for i := range xc {
+					if math.Abs(xb[c][i]-xc[i]) > 1e-9*(1+math.Abs(xc[i])) {
+						t.Fatalf("n=%d k=%d col %d row %d: block %v per-column %v",
+							n, k, c, i, xb[c][i], xc[i])
+					}
+					if xb[c][i] != xc[i] {
+						t.Errorf("n=%d k=%d col %d row %d: not bit-identical: block %v per-column %v",
+							n, k, c, i, xb[c][i], xc[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCGBlockResiduals verifies the returned solutions against the
+// definition ‖b − A·x‖ ≤ tol·‖b‖ rather than against another solver.
+func TestCGBlockResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPDCSR(rng, 80, 0.1)
+	b := make([]Vector, 5)
+	for c := range b {
+		b[c] = NewVector(80)
+		for i := range b[c] {
+			b[c][i] = rng.NormFloat64()
+		}
+	}
+	x, stats, err := SolveCGBlock(a, b, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range b {
+		ax, err := a.MulVec(x[c], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res, bn float64
+		for i := range ax {
+			d := b[c][i] - ax[i]
+			res += d * d
+			bn += b[c][i] * b[c][i]
+		}
+		rel := math.Sqrt(res) / math.Sqrt(bn)
+		if rel > 1e-10 {
+			t.Errorf("column %d residual %g above tolerance", c, rel)
+		}
+		if stats[c].Residual > 1e-10 {
+			t.Errorf("column %d reported residual %g above tolerance", c, stats[c].Residual)
+		}
+	}
+}
+
+// TestCGBlockMixedConvergence exercises deflation: a panel whose columns
+// converge at very different iteration counts (including instantly) must
+// finish every column correctly and report per-column iteration counts.
+func TestCGBlockMixedConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	a := randomSPDCSR(rng, n, 0.08)
+	s, err := NewCGBlockSolver(a, 6, CGOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Diagonal()
+	b := make([]Vector, 6)
+	x := make([]Vector, 6)
+	for c := range b {
+		b[c], x[c] = NewVector(n), NewVector(n)
+	}
+	// Column 0: zero RHS (0 iterations, x = 0).
+	// Column 1: b = A·e0 with a warm start x = e0 (0 iterations).
+	for k := a.RowPtr[0]; k < a.RowPtr[0+1]; k++ {
+		b[1][a.Col[k]] = a.Val[k] // column 0 of A (A symmetric)
+	}
+	x[1][0] = 1
+	// Column 2: a single spike (few iterations).
+	b[2][n/2] = d[n/2]
+	// Columns 3..5: dense random RHS (full iteration counts).
+	for c := 3; c < 6; c++ {
+		for i := range b[c] {
+			b[c][i] = rng.NormFloat64()
+		}
+	}
+	stats, err := s.SolveBlock(b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Iterations != 0 {
+		t.Errorf("zero RHS took %d iterations", stats[0].Iterations)
+	}
+	for i, v := range x[0] {
+		if v != 0 {
+			t.Fatalf("zero RHS solution nonzero at %d: %v", i, v)
+		}
+	}
+	if stats[1].Iterations != 0 {
+		t.Errorf("exact warm start took %d iterations", stats[1].Iterations)
+	}
+	if stats[2].Iterations == 0 || stats[2].Iterations > stats[3].Iterations {
+		t.Errorf("spike RHS iterations %d should be positive and at most dense %d",
+			stats[2].Iterations, stats[3].Iterations)
+	}
+	// Every column satisfies its own system.
+	for c := range b {
+		ax, err := a.MulVec(x[c], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bn := b[c].Norm2()
+		if bn == 0 {
+			continue
+		}
+		var res float64
+		for i := range ax {
+			d := b[c][i] - ax[i]
+			res += d * d
+		}
+		if math.Sqrt(res)/bn > 1e-10 {
+			t.Errorf("column %d residual %g", c, math.Sqrt(res)/bn)
+		}
+	}
+	// Solver reuse: a second panel through the same solver still works.
+	for c := range b {
+		x[c].Fill(0)
+	}
+	if _, err := s.SolveBlock(b[:4], x[:4]); err != nil {
+		t.Fatalf("solver reuse: %v", err)
+	}
+}
+
+// TestCGBlockErrors pins the failure modes: option validation, dimension
+// checks, and non-convergence reported as a ColumnError wrapping
+// ErrNoConvergence for the lowest-indexed failing column while healthy
+// columns still complete.
+func TestCGBlockErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPDCSR(rng, 50, 0.1)
+	if _, err := NewCGBlockSolver(a, 0, CGOptions{}); !errors.Is(err, ErrOptions) {
+		t.Errorf("width 0 error = %v, want ErrOptions", err)
+	}
+	if _, err := NewCGBlockSolver(a, 2, CGOptions{Tol: -1}); !errors.Is(err, ErrOptions) {
+		t.Errorf("negative tol error = %v, want ErrOptions", err)
+	}
+	s, err := NewCGBlockSolver(a, 2, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewVector(50)
+	good[0] = 1
+	if _, err := s.SolveBlock([]Vector{good, good, good}, make([]Vector, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("over-width panel error = %v, want ErrDimension", err)
+	}
+	if _, err := s.SolveBlock([]Vector{good}, []Vector{NewVector(7)}); !errors.Is(err, ErrDimension) {
+		t.Errorf("short solution column error = %v, want ErrDimension", err)
+	}
+	if _, err := s.SolveBlock([]Vector{NewVector(7)}, []Vector{NewVector(50)}); !errors.Is(err, ErrDimension) {
+		t.Errorf("short RHS error = %v, want ErrDimension", err)
+	}
+	if stats, err := s.SolveBlock(nil, nil); err != nil || stats != nil {
+		t.Errorf("empty panel = (%v, %v), want (nil, nil)", stats, err)
+	}
+
+	// MaxIter 1 cannot converge the dense columns: the error must name
+	// the lowest failing column and wrap ErrNoConvergence, and the zero
+	// column must still succeed.
+	b := make([]Vector, 3)
+	x := make([]Vector, 3)
+	for c := range b {
+		b[c], x[c] = NewVector(50), NewVector(50)
+	}
+	for i := range b[1] {
+		b[1][i] = rng.NormFloat64()
+		b[2][i] = rng.NormFloat64()
+	}
+	tight, err := NewCGBlockSolver(a, 3, CGOptions{MaxIter: 1, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tight.SolveBlock(b, x)
+	if err == nil {
+		t.Fatal("MaxIter 1 should fail")
+	}
+	var ce *ColumnError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a ColumnError", err)
+	}
+	if ce.Col != 1 {
+		t.Errorf("failing column = %d, want 1 (the lowest failing)", ce.Col)
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("error %v should wrap ErrNoConvergence", err)
+	}
+	if stats[0].Iterations != 0 {
+		t.Errorf("zero column ran %d iterations despite sibling failure", stats[0].Iterations)
+	}
+	if stats[1].Iterations != 1 || stats[2].Iterations != 1 {
+		t.Errorf("failed columns report %d/%d iterations, want 1/1", stats[1].Iterations, stats[2].Iterations)
+	}
+}
+
+// customPrec wraps Jacobi behind a type that does not implement the
+// panel interface, forcing the column-at-a-time fallback path.
+type customPrec struct{ j *Jacobi }
+
+func (p customPrec) Apply(z, r Vector) { p.j.Apply(z, r) }
+
+// TestCGBlockCustomPreconditioner covers the non-panel preconditioner
+// fallback: results must match the built-in Jacobi panel path.
+func TestCGBlockCustomPreconditioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPDCSR(rng, 60, 0.1)
+	j, err := NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]Vector, 4)
+	for c := range b {
+		b[c] = NewVector(60)
+		for i := range b[c] {
+			b[c][i] = rng.NormFloat64()
+		}
+	}
+	xPanel, _, err := SolveCGBlock(a, b, CGOptions{Precond: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xFallback, _, err := SolveCGBlock(a, b, CGOptions{Precond: customPrec{j}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range b {
+		for i := range xPanel[c] {
+			if xPanel[c][i] != xFallback[c][i] {
+				t.Fatalf("fallback path diverged at col %d row %d", c, i)
+			}
+		}
+	}
+}
+
+func BenchmarkCGBlockVsPerColumn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSPDCSR(rng, 2000, 0.003)
+	k := 16
+	rhs := make([]Vector, k)
+	for c := range rhs {
+		rhs[c] = NewVector(2000)
+		for i := range rhs[c] {
+			rhs[c][i] = rng.NormFloat64()
+		}
+	}
+	b.Run("block", func(b *testing.B) {
+		s, err := NewCGBlockSolver(a, k, CGOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]Vector, k)
+		for c := range x {
+			x[c] = NewVector(2000)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := range x {
+				x[c].Fill(0)
+			}
+			if _, err := s.SolveBlock(rhs, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-column", func(b *testing.B) {
+		s, err := NewCGSolver(a, CGOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := NewVector(2000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := range rhs {
+				x.Fill(0)
+				if _, err := s.Solve(rhs[c], x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

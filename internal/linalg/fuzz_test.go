@@ -83,6 +83,81 @@ func FuzzCSRMulVec(f *testing.F) {
 	})
 }
 
+// FuzzCGBlock differentially tests the blocked multi-RHS CG against the
+// per-column solver: fuzzed bytes become a small diagonally dominant SPD
+// matrix and a panel of 1–4 right-hand sides; the blocked solve must
+// agree with k independent SolveCG calls, including iteration counts
+// (the block solver shares traversals, not arithmetic).
+func FuzzCGBlock(f *testing.F) {
+	f.Add([]byte{4, 2, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120})
+	f.Add([]byte{1, 1, 0xFF})
+	f.Add([]byte{6, 4, 0x80, 0x7F, 0x01, 0xFE, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 22, 33, 44, 55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0])%6 + 1
+		k := int(data[1])%4 + 1
+		data = data[2:]
+		at := func(idx int) float64 {
+			if idx >= len(data) || data[idx] == 0 {
+				return 0
+			}
+			return (float64(data[idx]) - 128) / 8
+		}
+		// Symmetric off-diagonals from the byte stream, diagonal padded to
+		// strict dominance so the system is SPD by construction.
+		b := NewCSRBuilder(n)
+		rowAbs := make([]float64, n)
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if v := at(idx); v != 0 {
+					b.Add(i, j, v)
+					b.Add(j, i, v)
+					rowAbs[i] += math.Abs(v)
+					rowAbs[j] += math.Abs(v)
+				}
+				idx++
+			}
+		}
+		for i := 0; i < n; i++ {
+			b.Add(i, i, rowAbs[i]+1+math.Abs(at(idx)))
+			idx++
+		}
+		a := b.Build()
+		if err := checkCSRInvariants(a); err != nil {
+			t.Fatalf("CSR invariants: %v", err)
+		}
+		rhs := make([]Vector, k)
+		for c := range rhs {
+			rhs[c] = NewVector(n)
+			for i := range rhs[c] {
+				rhs[c][i] = at(idx)
+				idx++
+			}
+		}
+		xb, sb, err := SolveCGBlock(a, rhs, CGOptions{})
+		if err != nil {
+			t.Fatalf("block solve: %v", err)
+		}
+		for c := range rhs {
+			xc, sc, err := SolveCG(a, rhs[c], CGOptions{})
+			if err != nil {
+				t.Fatalf("per-column solve %d: %v", c, err)
+			}
+			if sb[c].Iterations != sc.Iterations {
+				t.Fatalf("col %d: block %d iterations, per-column %d", c, sb[c].Iterations, sc.Iterations)
+			}
+			for i := range xc {
+				if math.Abs(xb[c][i]-xc[i]) > 1e-9*(1+math.Abs(xc[i])) {
+					t.Fatalf("col %d row %d: block %v per-column %v", c, i, xb[c][i], xc[i])
+				}
+			}
+		}
+	})
+}
+
 func mustCSR(t *testing.T, m *Matrix) *CSR {
 	t.Helper()
 	c, err := NewCSRFromDense(m, 0)

@@ -437,7 +437,7 @@ func (s *Server) handleTSP(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		budget, _, err := calc.WorstCase(active)
+		budget, _, err := calc.WorstCase(ctx, active)
 		if err != nil {
 			return nil, err
 		}

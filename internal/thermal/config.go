@@ -68,6 +68,13 @@ type Config struct {
 	// picks dense Cholesky for small stacks and sparse preconditioned CG
 	// above sparseNodeThreshold nodes.
 	Solver SolverKind
+	// InfluencePanel sets how many influence-matrix columns the sparse
+	// path solves per blocked-CG pass. Zero picks the default width,
+	// 1 forces the historical one-column-at-a-time fan-out, larger
+	// values widen the panel. The blocked solver reproduces per-column
+	// arithmetic exactly, so this knob trades throughput only. Ignored
+	// on the dense path.
+	InfluencePanel int
 }
 
 // Paper §2.1 stack geometry.
@@ -157,6 +164,9 @@ func (c Config) Validate() error {
 	}
 	if c.Solver < SolverAuto || c.Solver > SolverSparse {
 		return fmt.Errorf("%w: unknown solver kind %d", ErrConfig, int(c.Solver))
+	}
+	if c.InfluencePanel < 0 {
+		return fmt.Errorf("%w: negative influence panel width %d", ErrConfig, c.InfluencePanel)
 	}
 	return nil
 }

@@ -1,14 +1,12 @@
 package thermal
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"darksim/internal/floorplan"
 	"darksim/internal/linalg"
-	"darksim/internal/runner"
 )
 
 // cell is one RC node of the discretized stack.
@@ -51,10 +49,14 @@ type Model struct {
 	blockCells [][]cellShare
 
 	// influence is the lazily computed block×block matrix of steady
-	// state dT_i/dP_j in K/W, guarded by infOnce for concurrent callers.
+	// state dT_i/dP_j in K/W (see influence.go). infMu serializes the
+	// computation; a failed computation is never memoized, so callers
+	// retry naturally. infKey memoizes the platform content hash used to
+	// look the matrix up in the process-wide cache.
 	influence *linalg.Matrix
-	infErr    error
-	infOnce   sync.Once
+	infMu     sync.Mutex
+	infKey    uint64
+	infKeyed  bool
 
 	// transFacs caches the factored implicit-Euler system per step size
 	// so repeated transients over one model (Fig11–13's sweeps) factor
@@ -392,57 +394,6 @@ func (m *Model) PeakSteadyState(blockPower []float64) (float64, int, error) {
 	}
 	peak, at := linalg.Vector(t).Max()
 	return peak, at, nil
-}
-
-// InfluenceMatrix returns (computing on first use) the block×block matrix
-// B with B[i][j] = steady-state temperature rise of block i per watt in
-// block j (K/W). By linearity, T = B·P + Tambient-field, which is the
-// foundation of the TSP computation.
-//
-// The columns are independent solves against the shared (and immutable)
-// steady-state factorization, so they are computed in parallel on the
-// runner pool; the sparse path hands each worker its own pooled CG
-// workspace.
-func (m *Model) InfluenceMatrix() (*linalg.Matrix, error) {
-	m.infOnce.Do(m.computeInfluence)
-	return m.influence, m.infErr
-}
-
-func (m *Model) computeInfluence() {
-	nb := len(m.blockCells)
-	inf := linalg.NewMatrix(nb, nb)
-	// Columns run on the shared pool; RHS buffers are recycled across
-	// solves instead of allocated per column.
-	var rhsPool sync.Pool
-	rhsPool.New = func() any {
-		v := linalg.NewVector(len(m.cells))
-		return &v
-	}
-	_, err := runner.MapN(context.Background(), nb, runner.Options{}, func(_ context.Context, j int) (struct{}, error) {
-		vp := rhsPool.Get().(*linalg.Vector)
-		rhs := *vp
-		rhs.Fill(0)
-		for _, s := range m.blockCells[j] {
-			rhs[s.node] = s.fraction
-		}
-		if err := m.steady.solveInPlace(rhs); err != nil {
-			return struct{}{}, fmt.Errorf("influence column %d: %w", j, err)
-		}
-		for i := 0; i < nb; i++ {
-			var t float64
-			for _, s := range m.blockCells[i] {
-				t += rhs[s.node] * s.weight
-			}
-			inf.Set(i, j, t)
-		}
-		rhsPool.Put(vp)
-		return struct{}{}, nil
-	})
-	if err != nil {
-		m.infErr = err
-		return
-	}
-	m.influence = inf
 }
 
 // AmbientField returns the per-block steady-state temperature with zero

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -256,7 +257,7 @@ func TestNewModelErrors(t *testing.T) {
 
 func TestInfluenceMatrix(t *testing.T) {
 	m := model16(t)
-	inf, err := m.InfluenceMatrix()
+	inf, err := m.InfluenceMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestInfluenceMatrix(t *testing.T) {
 		t.Fatalf("influence shape %dx%d", inf.Rows, inf.Cols)
 	}
 	// Cached on second call.
-	if again, _ := m.InfluenceMatrix(); again != inf {
+	if again, _ := m.InfluenceMatrix(context.Background()); again != inf {
 		t.Errorf("influence matrix should be cached")
 	}
 	// Self-influence dominates cross influence.
@@ -555,11 +556,11 @@ func TestSparseMatchesDenseSteadyState(t *testing.T) {
 		}
 	}
 	// Influence matrices agree too (parallel multi-RHS on the seam).
-	id, err := dense.InfluenceMatrix()
+	id, err := dense.InfluenceMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	is, err := sparse.InfluenceMatrix()
+	is, err := sparse.InfluenceMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

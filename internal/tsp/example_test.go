@@ -1,6 +1,7 @@
 package tsp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	for _, n := range []int{25, 50, 100} {
-		budget, _, err := calc.WorstCase(n)
+		budget, _, err := calc.WorstCase(context.Background(), n)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,6 +24,7 @@
 package tsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,8 +62,9 @@ func New(model *thermal.Model, tcritC float64) (*Calculator, error) {
 func (c *Calculator) Tcrit() float64 { return c.tcrit }
 
 // Given returns TSP for a specific active-core set: the maximum uniform
-// per-core power (W) keeping every core below Tcrit.
-func (c *Calculator) Given(active []int) (float64, error) {
+// per-core power (W) keeping every core below Tcrit. The context bounds
+// the (cached, usually already computed) influence-matrix build.
+func (c *Calculator) Given(ctx context.Context, active []int) (float64, error) {
 	if len(active) == 0 {
 		return 0, errors.New("tsp: empty active set")
 	}
@@ -77,7 +79,7 @@ func (c *Calculator) Given(active []int) (float64, error) {
 		}
 		seen[a] = true
 	}
-	inf, err := c.model.InfluenceMatrix()
+	inf, err := c.model.InfluenceMatrix(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -121,12 +123,12 @@ func (c *Calculator) evalTSP(rowSum []float64, nActive int) (float64, error) {
 // greedy choice at step k only depends on the first k picks, so the
 // n-core placement is a prefix of the (n+1)-core one — the property the
 // single shared walk exploits. Returns the full placement sequence.
-func (c *Calculator) worstWalk(n int, visit func(k int, rowSum []float64) error) ([]int, error) {
+func (c *Calculator) worstWalk(ctx context.Context, n int, visit func(k int, rowSum []float64) error) ([]int, error) {
 	nb := c.model.NumBlocks()
 	if n <= 0 || n > nb {
 		return nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
 	}
-	inf, err := c.model.InfluenceMatrix()
+	inf, err := c.model.InfluenceMatrix(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -186,9 +188,9 @@ func (c *Calculator) worstWalk(n int, visit func(k int, rowSum []float64) error)
 // WorstCase returns the worst-case TSP for n active cores — the TSP of
 // the most thermally adverse placement, found by the greedy worstWalk —
 // together with the adversarial placement itself.
-func (c *Calculator) WorstCase(n int) (float64, []int, error) {
+func (c *Calculator) WorstCase(ctx context.Context, n int) (float64, []int, error) {
 	var p float64
-	active, err := c.worstWalk(n, func(k int, rowSum []float64) error {
+	active, err := c.worstWalk(ctx, n, func(k int, rowSum []float64) error {
 		if k < n {
 			return nil
 		}
@@ -209,12 +211,12 @@ func (c *Calculator) WorstCase(n int) (float64, []int, error) {
 // cores, found greedily by always adding the core that keeps the maximum
 // influence row sum lowest. This is the "dark silicon patterning" dual of
 // WorstCase and upper-bounds the achievable uniform budget.
-func (c *Calculator) BestCase(n int) (float64, []int, error) {
+func (c *Calculator) BestCase(ctx context.Context, n int) (float64, []int, error) {
 	nb := c.model.NumBlocks()
 	if n <= 0 || n > nb {
 		return 0, nil, fmt.Errorf("tsp: core count %d out of range [1,%d]", n, nb)
 	}
-	inf, err := c.model.InfluenceMatrix()
+	inf, err := c.model.InfluenceMatrix(ctx)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -244,7 +246,7 @@ func (c *Calculator) BestCase(n int) (float64, []int, error) {
 			rowSum[i] += inf.At(i, pick)
 		}
 	}
-	p, err := c.Given(active)
+	p, err := c.Given(ctx, active)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -266,12 +268,12 @@ type TableEntry struct {
 // turning the former O(max) repeated walks (O(max²·cores²) influence
 // accumulations) into one O(max·cores²) pass with values bit-identical
 // to calling WorstCase per entry.
-func (c *Calculator) Table(max int) ([]TableEntry, error) {
+func (c *Calculator) Table(ctx context.Context, max int) ([]TableEntry, error) {
 	if max <= 0 || max > c.model.NumBlocks() {
 		return nil, fmt.Errorf("tsp: table size %d out of range", max)
 	}
 	out := make([]TableEntry, 0, max)
-	_, err := c.worstWalk(max, func(k int, rowSum []float64) error {
+	_, err := c.worstWalk(ctx, max, func(k int, rowSum []float64) error {
 		p, err := c.evalTSP(rowSum, k)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,7 +48,7 @@ func TestGivenSafety(t *testing.T) {
 			active = append(active, fp.Index(r, col))
 		}
 	}
-	p, err := c.Given(active)
+	p, err := c.Given(context.Background(), active)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,16 +89,16 @@ func TestGivenErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Given(nil); err == nil {
+	if _, err := c.Given(context.Background(), nil); err == nil {
 		t.Errorf("empty set should error")
 	}
-	if _, err := c.Given([]int{-1}); err == nil {
+	if _, err := c.Given(context.Background(), []int{-1}); err == nil {
 		t.Errorf("negative index should error")
 	}
-	if _, err := c.Given([]int{100}); err == nil {
+	if _, err := c.Given(context.Background(), []int{100}); err == nil {
 		t.Errorf("out-of-range index should error")
 	}
-	if _, err := c.Given([]int{3, 3}); err == nil {
+	if _, err := c.Given(context.Background(), []int{3, 3}); err == nil {
 		t.Errorf("duplicate index should error")
 	}
 }
@@ -111,7 +112,7 @@ func TestWorstCaseDecreasesWithCores(t *testing.T) {
 	}
 	prev := math.Inf(1)
 	for _, n := range []int{1, 4, 16, 36, 64, 100} {
-		p, placement, err := c.WorstCase(n)
+		p, placement, err := c.WorstCase(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestWorstCaseBelowGivenSpreadMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	worst, _, err := c.WorstCase(25)
+	worst, _, err := c.WorstCase(context.Background(), 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestWorstCaseBelowGivenSpreadMapping(t *testing.T) {
 			spread = append(spread, fp.Index(r, col))
 		}
 	}
-	given, err := c.Given(spread)
+	given, err := c.Given(context.Background(), spread)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestBestCaseAboveWorstCase(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range []int{10, 40, 70} {
-		worst, _, err := c.WorstCase(n)
+		worst, _, err := c.WorstCase(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		best, placement, err := c.BestCase(n)
+		best, placement, err := c.BestCase(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,11 +177,11 @@ func TestBestCaseAboveWorstCase(t *testing.T) {
 		}
 	}
 	// At n == all cores the two coincide (no placement freedom).
-	worst, _, err := c.WorstCase(100)
+	worst, _, err := c.WorstCase(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, _, err := c.BestCase(100)
+	best, _, err := c.BestCase(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,19 +196,19 @@ func TestRangeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.WorstCase(0); err == nil {
+	if _, _, err := c.WorstCase(context.Background(), 0); err == nil {
 		t.Errorf("n=0 should error")
 	}
-	if _, _, err := c.WorstCase(101); err == nil {
+	if _, _, err := c.WorstCase(context.Background(), 101); err == nil {
 		t.Errorf("n>cores should error")
 	}
-	if _, _, err := c.BestCase(-1); err == nil {
+	if _, _, err := c.BestCase(context.Background(), -1); err == nil {
 		t.Errorf("n<0 should error")
 	}
-	if _, err := c.Table(0); err == nil {
+	if _, err := c.Table(context.Background(), 0); err == nil {
 		t.Errorf("table 0 should error")
 	}
-	if _, err := c.Table(101); err == nil {
+	if _, err := c.Table(context.Background(), 101); err == nil {
 		t.Errorf("oversized table should error")
 	}
 	if c.Tcrit() != 80 {
@@ -221,7 +222,7 @@ func TestTableMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := c.Table(30)
+	tab, err := c.Table(context.Background(), 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestGivenMonotoneProperty(t *testing.T) {
 		n := 1 + rng.Intn(98)
 		base := perm[:n]
 		extended := perm[:n+1]
-		pBase, err := c.Given(base)
+		pBase, err := c.Given(context.Background(), base)
 		if err != nil {
 			return false
 		}
-		pExt, err := c.Given(extended)
+		pExt, err := c.Given(context.Background(), extended)
 		if err != nil {
 			return false
 		}
@@ -285,11 +286,11 @@ func TestGivenLinearInHeadroomProperty(t *testing.T) {
 		perm := rng.Perm(100)
 		n := 1 + rng.Intn(99)
 		active := perm[:n]
-		p1, err := c80.Given(active)
+		p1, err := c80.Given(context.Background(), active)
 		if err != nil {
 			return false
 		}
-		p2, err := c99.Given(active)
+		p2, err := c99.Given(context.Background(), active)
 		if err != nil {
 			return false
 		}
@@ -310,11 +311,11 @@ func TestWorstCasePrefixConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	const max = 40
-	_, full, err := c.WorstCase(max)
+	_, full, err := c.WorstCase(context.Background(), max)
 	if err != nil {
 		t.Fatal(err)
 	}
-	table, err := c.Table(max)
+	table, err := c.Table(context.Background(), max)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestWorstCasePrefixConsistency(t *testing.T) {
 		t.Fatalf("table length %d", len(table))
 	}
 	for _, n := range []int{1, 2, 7, 25, max} {
-		p, active, err := c.WorstCase(n)
+		p, active, err := c.WorstCase(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,7 +338,7 @@ func TestWorstCasePrefixConsistency(t *testing.T) {
 		if table[n-1].PerCoreW != p {
 			t.Fatalf("Table entry %d = %v, WorstCase = %v", n, table[n-1].PerCoreW, p)
 		}
-		given, err := c.Given(active)
+		given, err := c.Given(context.Background(), active)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -353,19 +354,19 @@ func BenchmarkTSPWorstCase(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Warm the influence matrix so the benchmark isolates the greedy walk.
-	if _, _, err := c.WorstCase(1); err != nil {
+	if _, _, err := c.WorstCase(context.Background(), 1); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("WorstCase100", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := c.WorstCase(100); err != nil {
+			if _, _, err := c.WorstCase(context.Background(), 100); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Table100", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.Table(100); err != nil {
+			if _, err := c.Table(context.Background(), 100); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -208,7 +209,7 @@ func checkTSPDominates(r experiments.Renderer) error {
 		if err != nil {
 			return fmt.Errorf("%d nm: %v", row.Node, err)
 		}
-		budget, _, err := calc.WorstCase(row.ActiveCores)
+		budget, _, err := calc.WorstCase(context.Background(), row.ActiveCores)
 		if err != nil {
 			return fmt.Errorf("%d nm: worst-case TSP(%d): %v", row.Node, row.ActiveCores, err)
 		}
