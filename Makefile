@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-shuffle race bench bench-report bench-smoke fuzz-smoke verify golden experiments ablations serve clean
+.PHONY: all check build vet lint test test-short test-shuffle race bench bench-report bench-compare bench-smoke fuzz-smoke verify golden experiments ablations serve clean
 
 all: check
 
@@ -40,10 +40,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The perf-trajectory harness: per-figure + dense-vs-sparse solver
-# benchmarks, written as one JSON report for cross-PR comparison.
-BENCH_OUT ?= BENCH_PR6.json
+# benchmarks, written as one JSON report for cross-PR comparison. The
+# default output is derived from the current commit so a casual
+# `make bench-report` can never silently overwrite a committed
+# BENCH_PR*.json trajectory file; pass BENCH_OUT=BENCH_PR7.json
+# explicitly when publishing a new baseline.
+BENCH_OUT ?= bench-$(shell git rev-parse --short HEAD 2>/dev/null || echo dev).json
 bench-report:
 	$(GO) run ./cmd/darksim bench -out $(BENCH_OUT)
+
+# The CI regression gate: rerun the headline benchmarks (solver,
+# influence, TSP — no per-figure sweeps) and fail on >25% slowdown
+# against the committed PR 6 baseline.
+BENCH_BASELINE ?= BENCH_PR6.json
+bench-compare:
+	$(GO) run ./cmd/darksim bench -figures=false -compare $(BENCH_BASELINE)
 
 # One iteration of the thermal-solve benchmarks keeps the bench path
 # compiling and running under the tier-1 gate without paying full
@@ -63,6 +74,18 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzServiceParams -fuzztime=$(FUZZTIME) -run='^$$' ./internal/service
 	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
 	$(GO) test -fuzz=FuzzCGBlock -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
+	$(GO) test -fuzz=FuzzScenarioSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/scenario
+
+# Static analysis beyond vet. staticcheck is optional locally (CI
+# installs a pinned version); when absent, lint degrades to vet alone
+# rather than requiring a toolchain download.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi
 
 # The golden-corpus verification gate: recompute every figure and check
 # it against the embedded corpus, the paper's physics invariants and the

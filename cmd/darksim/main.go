@@ -38,6 +38,7 @@ import (
 	"darksim/internal/experiments"
 	"darksim/internal/report"
 	"darksim/internal/runner"
+	"darksim/internal/scenario"
 	"darksim/internal/verify"
 )
 
@@ -57,7 +58,8 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 || (len(args) != 1 && args[0] != "verify" && args[0] != "bench") || (*format != "text" && *format != "json") {
+	subcommands := map[string]bool{"verify": true, "bench": true, "scenario": true}
+	if len(args) == 0 || (len(args) != 1 && !subcommands[args[0]]) || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
 	}
@@ -80,6 +82,11 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "scenario":
+		if err := runScenario(ctx, args[1:], *format, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
+		}
 	case "list":
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
@@ -153,17 +160,102 @@ func runVerify(ctx context.Context, args []string, parallel int, w io.Writer) er
 	return nil
 }
 
+// runScenario compiles and evaluates a declarative chip/workload spec —
+// from a JSON file (-spec), or the built-in Charm exemplar pack (-name,
+// -list) — through the same platform/thermal machinery the figures use.
+func runScenario(ctx context.Context, args []string, format string, w io.Writer) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	specFile := fs.String("spec", "", "JSON scenario spec file ('-' for stdin)")
+	name := fs.String("name", "", "run a built-in pack scenario by name")
+	list := fs.Bool("list", false, "list the built-in scenario pack")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: darksim scenario -spec file.json | -name <pack scenario> | -list\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("scenario takes no positional arguments")
+	}
+	if *list {
+		for _, s := range scenario.Pack() {
+			h, err := scenario.Hash(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-30s %s %4d cores  TDP %.0f W  %s\n",
+				s.Name, fmt.Sprintf("%dnm", s.NodeNM), s.TotalCores(), s.TDPW, h[:12])
+		}
+		return nil
+	}
+	var spec scenario.Spec
+	switch {
+	case *specFile != "" && *name != "":
+		return fmt.Errorf("scenario: -spec and -name are mutually exclusive")
+	case *specFile != "":
+		data, err := readSpecFile(*specFile)
+		if err != nil {
+			return err
+		}
+		if spec, err = scenario.Parse(data); err != nil {
+			return err
+		}
+	case *name != "":
+		var err error
+		if spec, err = scenario.PackByName(*name); err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("scenario: one of -spec, -name or -list is required")
+	}
+	sc, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	res, err := sc.Evaluate(ctx)
+	if err != nil {
+		return err
+	}
+	tables := res.Tables()
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(output{ID: "scenario", Tables: tables})
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// readSpecFile loads a spec document from a path or stdin ("-").
+func readSpecFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
 // runBench parses the bench subcommand's flags and runs the perf harness:
 // dense-vs-sparse thermal-solver and TSP micro-benchmarks plus (by
 // default) one benchmark per paper figure, written as a JSON report for
 // cross-PR perf tracking.
 func runBench(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR6.json", "file the JSON report is written to ('-' for stdout)")
+	out := fs.String("out", "", "file the JSON report is written to ('-' for stdout; empty writes no report)")
 	benchtime := fs.String("benchtime", "1x", "per-benchmark time or iteration budget (testing -benchtime syntax)")
 	figures := fs.Bool("figures", true, "include the per-figure experiment benchmarks")
+	compare := fs.String("compare", "", "baseline JSON report to diff against; headline regressions fail the run")
+	threshold := fs.Float64("threshold", bench.DefaultRegressionThreshold,
+		"new/old ns-per-op ratio above which a headline benchmark fails -compare")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: darksim bench [-out file] [-benchtime 1x|2s] [-figures=false] [-compare old.json [-threshold 1.25]]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -172,6 +264,14 @@ func runBench(ctx context.Context, args []string, w io.Writer) error {
 	if fs.NArg() != 0 {
 		fs.Usage()
 		return fmt.Errorf("bench takes no positional arguments")
+	}
+	var baseline *bench.Report
+	if *compare != "" {
+		// Load before benchmarking so a bad path fails in milliseconds.
+		var err error
+		if baseline, err = bench.ReadReport(*compare); err != nil {
+			return err
+		}
 	}
 	// testing.Benchmark reads the test.benchtime flag; register the
 	// testing flags and set it explicitly so a non-test binary gets a
@@ -184,21 +284,35 @@ func runBench(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *out == "-" {
-		return rep.WriteJSON(w)
+	switch *out {
+	case "":
+	case "-":
+		if err := rep.WriteJSON(w); err != nil {
+			return err
+		}
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench: report written to %s\n", *out)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
+	if baseline != nil {
+		deltas, cmpErr := bench.Compare(baseline, rep, *threshold)
+		fmt.Fprintf(w, "bench: comparing against %s (threshold %.2fx)\n", *compare, *threshold)
+		bench.WriteDeltas(w, deltas, *threshold)
+		if cmpErr != nil {
+			return cmpErr
+		}
+		fmt.Fprintln(w, "bench: no headline regressions")
 	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "bench: report written to %s\n", *out)
 	return nil
 }
 
@@ -337,6 +451,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: darksim [-duration s] [-parallel n] [-timeout d] [-format text|json] <experiment|all|ablations|list>
        darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]
        darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]
+       darksim scenario -spec file.json | -name <pack scenario> | -list
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func reportWith(ns map[string]float64) *Report {
+	rep := &Report{}
+	for name, v := range ns {
+		rep.Results = append(rep.Results, Result{Name: name, NsPerOp: v, Iterations: 1})
+	}
+	return rep
+}
+
+func headlineNs(scale float64) map[string]float64 {
+	ns := make(map[string]float64, len(Headline))
+	for i, name := range Headline {
+		ns[name] = float64(1000*(i+1)) * scale
+	}
+	return ns
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := reportWith(headlineNs(1))
+	new := reportWith(headlineNs(1.2)) // 20% slower: inside the 25% gate
+	deltas, err := Compare(old, new, 0)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(deltas) != len(Headline) {
+		t.Fatalf("got %d deltas, want %d", len(deltas), len(Headline))
+	}
+	for _, d := range deltas {
+		if !d.Headline {
+			t.Errorf("%s not marked headline", d.Name)
+		}
+		if d.Ratio < 1.19 || d.Ratio > 1.21 {
+			t.Errorf("%s ratio = %g, want ~1.2", d.Name, d.Ratio)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := reportWith(headlineNs(1))
+	slow := headlineNs(1)
+	slow[Headline[0]] *= 1.5
+	_, err := Compare(old, reportWith(slow), 0)
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("err = %v, want ErrRegression", err)
+	}
+	if !strings.Contains(err.Error(), Headline[0]) {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+
+	// A custom threshold admits the same slowdown.
+	if _, err := Compare(old, reportWith(slow), 1.6); err != nil {
+		t.Fatalf("Compare at 1.6x threshold: %v", err)
+	}
+}
+
+func TestCompareMissingHeadlineIsError(t *testing.T) {
+	full := reportWith(headlineNs(1))
+	partial := headlineNs(1)
+	delete(partial, Headline[1])
+	if _, err := Compare(reportWith(partial), full, 0); err == nil || !strings.Contains(err.Error(), Headline[1]) {
+		t.Fatalf("missing baseline headline: err = %v", err)
+	}
+	if _, err := Compare(full, reportWith(partial), 0); err == nil || !strings.Contains(err.Error(), Headline[1]) {
+		t.Fatalf("missing new headline: err = %v", err)
+	}
+}
+
+func TestCompareIgnoresNonSharedBenchmarks(t *testing.T) {
+	oldNs := headlineNs(1)
+	oldNs["fig1"] = 500
+	newNs := headlineNs(1)
+	newNs["fig99"] = 900
+	deltas, err := Compare(reportWith(oldNs), reportWith(newNs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Name == "fig1" || d.Name == "fig99" {
+			t.Errorf("unshared benchmark %s produced a delta", d.Name)
+		}
+	}
+}
+
+// TestBaselineAgainstItself pins the gate to the committed trajectory
+// file: the PR 6 baseline compared with itself must list every headline
+// benchmark and report no regression — so the names in Headline stay in
+// sync with what `darksim bench` actually emits.
+func TestBaselineAgainstItself(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_PR6.json")
+	rep, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	deltas, err := Compare(rep, rep, 0)
+	if err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	found := 0
+	for _, d := range deltas {
+		if d.Headline {
+			found++
+			if d.Ratio != 1 {
+				t.Errorf("%s self-ratio = %g, want 1", d.Name, d.Ratio)
+			}
+		}
+	}
+	if found != len(Headline) {
+		t.Fatalf("found %d headline deltas, want %d", found, len(Headline))
+	}
+}
+
+func TestReadReportErrors(t *testing.T) {
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil {
+		t.Error("malformed file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := writeFile(empty, `{"results":[]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(empty); err == nil {
+		t.Error("empty results: want error")
+	}
+}

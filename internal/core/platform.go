@@ -82,6 +82,12 @@ type Options struct {
 	// AmbientC overrides the thermal model's ambient (default: package
 	// calibrated value).
 	AmbientC float64
+	// DieNx and DieNy override the die/TIM thermal grid resolution. Zero
+	// selects the floorplan's own grid (Cols×Rows) for grid plans, or a
+	// resolution derived from the smallest block for heterogeneous plans.
+	// NewPlatformWith ignores them (its grid floorplan fixes the
+	// resolution); NewPlatformFrom honors them.
+	DieNx, DieNy int
 }
 
 // NewPlatform builds the standard platform for a node with default options.
@@ -89,13 +95,11 @@ func NewPlatform(node tech.Node) (*Platform, error) {
 	return NewPlatformWith(node, Options{})
 }
 
-// NewPlatformWith builds a platform with explicit options.
+// NewPlatformWith builds a platform with explicit options on the
+// paper-standard homogeneous grid floorplan for opt.Cores cores.
 func NewPlatformWith(node tech.Node, opt Options) (*Platform, error) {
 	if opt.Cores == 0 {
 		opt.Cores = 100
-	}
-	if opt.TDTM == 0 {
-		opt.TDTM = DefaultTDTM
 	}
 	spec, err := tech.SpecFor(node)
 	if err != nil {
@@ -105,7 +109,44 @@ func NewPlatformWith(node tech.Node, opt Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, fp.Cols, fp.Rows)
+	opt.DieNx, opt.DieNy = fp.Cols, fp.Rows
+	return NewPlatformFrom(node, fp, opt)
+}
+
+// maxDieGridSide bounds the derived die discretization of heterogeneous
+// floorplans: a pathological mix of one huge and many tiny cores must not
+// explode the thermal node count (the per-layer grid is side², plus the
+// spreader and sink layers).
+const maxDieGridSide = 64
+
+// NewPlatformFrom builds a platform over an explicit floorplan — the
+// compilation seam the scenario engine uses for arbitrary (including
+// heterogeneous big.LITTLE) chips. Grid floorplans discretize the die at
+// their own Cols×Rows exactly like NewPlatformWith, so a compiled
+// symmetric scenario is bit-identical to the paper's fixed platforms;
+// non-grid plans derive the resolution from the smallest block edge,
+// clamped to maxDieGridSide.
+func NewPlatformFrom(node tech.Node, fp *floorplan.Floorplan, opt Options) (*Platform, error) {
+	if opt.TDTM == 0 {
+		opt.TDTM = DefaultTDTM
+	}
+	spec, err := tech.SpecFor(node)
+	if err != nil {
+		return nil, err
+	}
+	nx, ny := opt.DieNx, opt.DieNy
+	if nx == 0 || ny == 0 {
+		nx, ny = fp.Cols, fp.Rows
+	}
+	if nx == 0 || ny == 0 {
+		side := fp.MinBlockSide()
+		if side <= 0 {
+			return nil, fmt.Errorf("core: floorplan has no blocks to derive a thermal grid from")
+		}
+		nx = clampGridSide(int(math.Ceil(fp.DieW / side)))
+		ny = clampGridSide(int(math.Ceil(fp.DieH / side)))
+	}
+	cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, nx, ny)
 	if opt.AmbientC != 0 {
 		cfg.AmbientC = opt.AmbientC
 	}
@@ -135,6 +176,17 @@ func NewPlatformWith(node tech.Node, opt Options) (*Platform, error) {
 		BoostLadder: boost,
 		TDTM:        opt.TDTM,
 	}, nil
+}
+
+// clampGridSide bounds a derived die-grid dimension to [1, maxDieGridSide].
+func clampGridSide(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxDieGridSide {
+		return maxDieGridSide
+	}
+	return n
 }
 
 // NumCores returns the chip's core count.

@@ -1,0 +1,98 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShelfGroup is one homogeneous run of cores placed by NewShelves: Count
+// square blocks of AreaMM2 each, named Name_0 … Name_{Count-1}.
+type ShelfGroup struct {
+	Name    string
+	Count   int
+	AreaMM2 float64
+}
+
+// NewShelves builds a heterogeneous floorplan by shelf packing: groups are
+// placed in order, left-to-right into rows ("shelves"), starting a new row
+// when the running row would exceed the target die width (the side of the
+// square with the total block area). Each shelf holds blocks of one group
+// only, so shelf height equals that group's block side and no blocks
+// overlap. This is the compilation target for scenario specs with
+// asymmetric core mixes (big.LITTLE), where a uniform grid cannot hold
+// per-type block sizes; symmetric specs keep using NewGrid, whose layout
+// the golden corpus pins.
+//
+// Blocks are appended group by group, so the block-index range of group g
+// is [Σ count(<g), Σ count(≤g)); callers rely on this for core-type
+// addressing. Row and Col are -1: shelf plans are not grid plans.
+func NewShelves(groups []ShelfGroup) (*Floorplan, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("%w: no shelf groups", ErrInvalid)
+	}
+	var total float64
+	for _, g := range groups {
+		if g.Count <= 0 {
+			return nil, fmt.Errorf("%w: group %q has count %d", ErrInvalid, g.Name, g.Count)
+		}
+		if g.AreaMM2 <= 0 || math.IsInf(g.AreaMM2, 0) || math.IsNaN(g.AreaMM2) {
+			return nil, fmt.Errorf("%w: group %q has area %g mm²", ErrInvalid, g.Name, g.AreaMM2)
+		}
+		if g.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed shelf group", ErrInvalid)
+		}
+		total += float64(g.Count) * g.AreaMM2 * 1e-6 // m²
+	}
+	targetW := math.Sqrt(total)
+	fp := &Floorplan{}
+	var x, y, rowH, maxW float64
+	for _, g := range groups {
+		side := math.Sqrt(g.AreaMM2 * 1e-6)
+		// Each group starts its own shelf so every shelf has one height.
+		if rowH > 0 {
+			y += rowH
+			x = 0
+		}
+		rowH = side
+		for i := 0; i < g.Count; i++ {
+			if x > 0 && x+side > targetW*(1+1e-9) {
+				y += rowH
+				x = 0
+			}
+			fp.Blocks = append(fp.Blocks, Block{
+				Name: fmt.Sprintf("%s_%d", g.Name, i),
+				X:    x, Y: y, W: side, H: side,
+				Row: -1, Col: -1,
+			})
+			x += side
+			if x > maxW {
+				maxW = x
+			}
+		}
+	}
+	fp.DieW = maxW
+	fp.DieH = y + rowH
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// MinBlockSide returns the smallest block edge in metres (0 for an empty
+// plan). Scenario compilation uses it to pick the thermal grid resolution
+// for non-grid floorplans.
+func (fp *Floorplan) MinBlockSide() float64 {
+	minSide := math.Inf(1)
+	for _, b := range fp.Blocks {
+		if b.W < minSide {
+			minSide = b.W
+		}
+		if b.H < minSide {
+			minSide = b.H
+		}
+	}
+	if math.IsInf(minSide, 1) {
+		return 0
+	}
+	return minSide
+}

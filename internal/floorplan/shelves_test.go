@@ -1,0 +1,95 @@
+package floorplan
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewShelvesSingleGroup(t *testing.T) {
+	fp, err := NewShelves([]ShelfGroup{{Name: "core", Count: 9, AreaMM2: 4}})
+	if err != nil {
+		t.Fatalf("NewShelves: %v", err)
+	}
+	if got := fp.NumBlocks(); got != 9 {
+		t.Fatalf("NumBlocks = %d, want 9", got)
+	}
+	// 9 blocks of 4 mm² shelf-pack 3 per row against targetW = 6 mm.
+	side := math.Sqrt(4e-6)
+	if math.Abs(fp.DieW-3*side) > 1e-12 || math.Abs(fp.DieH-3*side) > 1e-12 {
+		t.Fatalf("die = %g x %g, want %g x %g", fp.DieW, fp.DieH, 3*side, 3*side)
+	}
+	for i, b := range fp.Blocks {
+		if b.Row != -1 || b.Col != -1 {
+			t.Fatalf("block %d has grid coords (%d,%d), want (-1,-1)", i, b.Row, b.Col)
+		}
+	}
+	if fp.Blocks[0].Name != "core_0" || fp.Blocks[8].Name != "core_8" {
+		t.Fatalf("block names %q..%q, want core_0..core_8", fp.Blocks[0].Name, fp.Blocks[8].Name)
+	}
+}
+
+func TestNewShelvesGroupOrderContiguous(t *testing.T) {
+	fp, err := NewShelves([]ShelfGroup{
+		{Name: "big", Count: 2, AreaMM2: 12},
+		{Name: "little", Count: 6, AreaMM2: 3},
+	})
+	if err != nil {
+		t.Fatalf("NewShelves: %v", err)
+	}
+	if got := fp.NumBlocks(); got != 8 {
+		t.Fatalf("NumBlocks = %d, want 8", got)
+	}
+	// Scenario compilation addresses core types by contiguous block-index
+	// ranges in group order: big occupies [0,2), little [2,8).
+	for i := 0; i < 2; i++ {
+		if fp.Blocks[i].Name[:3] != "big" {
+			t.Fatalf("block %d = %q, want big_*", i, fp.Blocks[i].Name)
+		}
+	}
+	for i := 2; i < 8; i++ {
+		if fp.Blocks[i].Name[:6] != "little" {
+			t.Fatalf("block %d = %q, want little_*", i, fp.Blocks[i].Name)
+		}
+	}
+	// Heterogeneous sides: big blocks are larger than little blocks.
+	if !(fp.Blocks[0].W > fp.Blocks[7].W) {
+		t.Fatalf("big side %g not > little side %g", fp.Blocks[0].W, fp.Blocks[7].W)
+	}
+}
+
+func TestNewShelvesValidatesInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups []ShelfGroup
+	}{
+		{"empty", nil},
+		{"zero count", []ShelfGroup{{Name: "c", Count: 0, AreaMM2: 1}}},
+		{"negative area", []ShelfGroup{{Name: "c", Count: 1, AreaMM2: -1}}},
+		{"NaN area", []ShelfGroup{{Name: "c", Count: 1, AreaMM2: math.NaN()}}},
+		{"unnamed", []ShelfGroup{{Name: "", Count: 1, AreaMM2: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewShelves(tc.groups); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", tc.name, err)
+		}
+	}
+}
+
+func TestMinBlockSide(t *testing.T) {
+	fp, err := NewShelves([]ShelfGroup{
+		{Name: "big", Count: 1, AreaMM2: 16},
+		{Name: "little", Count: 1, AreaMM2: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewShelves: %v", err)
+	}
+	want := math.Sqrt(1e-6)
+	if got := fp.MinBlockSide(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("MinBlockSide = %g, want %g", got, want)
+	}
+	var empty Floorplan
+	if got := empty.MinBlockSide(); got != 0 {
+		t.Fatalf("empty MinBlockSide = %g, want 0", got)
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+
+	"darksim/internal/core"
+	"darksim/internal/experiments"
+	"darksim/internal/floorplan"
+	"darksim/internal/tech"
+)
+
+// CompiledType is one core type bound to its contiguous block-index range
+// [Start, End) on the compiled floorplan.
+type CompiledType struct {
+	CoreType
+	Start, End int
+}
+
+// Scenario is a compiled spec: the normalized spec, its content hash, and
+// the platform (floorplan + thermal model + v/f machinery) it describes.
+type Scenario struct {
+	Spec Spec // normalized
+	Hash string
+	Tech tech.Spec
+	// Platform plugs into the same solver, TSP and influence-cache
+	// machinery the paper's fixed figures use.
+	Platform *core.Platform
+	// Types holds the core types in normalized (name) order with their
+	// block ranges; shelf packing appends groups in exactly this order.
+	Types        []CompiledType
+	TotalAreaMM2 float64
+}
+
+// Compile normalizes, hashes and materializes a spec.
+//
+// A paper-shaped grid spec (single type, unit scales, default TDTM) goes
+// through the shared experiments platform cache, so scenarios reuse the
+// exact platform objects — and therefore the factored thermal networks
+// and warm influence matrices — of the named figures. Everything else
+// builds a dedicated platform over core.NewPlatformFrom; the process-wide
+// influence LRU still keys on geometry, so identical chips built by
+// different requests share influence work regardless.
+func Compile(spec Spec) (*Scenario, error) {
+	ns, err := Normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	node := tech.Node(ns.NodeNM)
+	ts, err := tech.SpecFor(node)
+	if err != nil {
+		return nil, err
+	}
+
+	var p *core.Platform
+	types := make([]CompiledType, 0, len(ns.CoreTypes))
+	var totalArea float64
+	switch ns.Floorplan {
+	case FloorplanGrid:
+		ct := ns.CoreTypes[0]
+		totalArea = float64(ct.Count) * ts.CoreAreaMM2 * ct.AreaScale
+		if ct.AreaScale == 1 && ns.TDTMC == core.DefaultTDTM {
+			p, err = experiments.PlatformFor(node, ct.Count)
+		} else {
+			var fp *floorplan.Floorplan
+			fp, err = floorplan.NewGridForCount(ct.Count, ts.CoreAreaMM2*ct.AreaScale)
+			if err == nil {
+				p, err = core.NewPlatformFrom(node, fp, core.Options{TDTM: ns.TDTMC})
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: compile grid: %w", err)
+		}
+		types = append(types, CompiledType{CoreType: ct, Start: 0, End: ct.Count})
+	case FloorplanShelves:
+		groups := make([]floorplan.ShelfGroup, len(ns.CoreTypes))
+		at := 0
+		for i, ct := range ns.CoreTypes {
+			area := ts.CoreAreaMM2 * ct.AreaScale
+			groups[i] = floorplan.ShelfGroup{Name: ct.Name, Count: ct.Count, AreaMM2: area}
+			totalArea += float64(ct.Count) * area
+			types = append(types, CompiledType{CoreType: ct, Start: at, End: at + ct.Count})
+			at += ct.Count
+		}
+		fp, err := floorplan.NewShelves(groups)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: compile shelves: %w", err)
+		}
+		p, err = core.NewPlatformFrom(node, fp, core.Options{TDTM: ns.TDTMC})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: compile shelves: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: floorplan %q", ErrSpec, ns.Floorplan)
+	}
+
+	return &Scenario{
+		Spec:         ns,
+		Hash:         hashNormalized(ns),
+		Tech:         ts,
+		Platform:     p,
+		Types:        types,
+		TotalAreaMM2: totalArea,
+	}, nil
+}
+
+// typeByName returns the compiled type for a (validated) name.
+func (sc *Scenario) typeByName(name string) (CompiledType, error) {
+	for _, t := range sc.Types {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return CompiledType{}, fmt.Errorf("scenario: compiled scenario has no core type %q", name)
+}

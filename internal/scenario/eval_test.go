@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"darksim/internal/apps"
+	"darksim/internal/experiments"
+	"darksim/internal/tech"
+)
+
+// TestSymmetricMatchesDarkSiliconUnderTDP is the package-local half of
+// the differential contract (internal/verify runs the full node × app
+// sweep): a paper-shaped spec compiled through the scenario engine must
+// reproduce DarkSiliconUnderTDP exactly — same platform object, same
+// plan arithmetic, bit-identical summary.
+func TestSymmetricMatchesDarkSiliconUnderTDP(t *testing.T) {
+	node, tdp := tech.Node16, 220.0
+	sc, err := Compile(SymmetricSpec(node, "swaptions", tdp))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p, err := experiments.PlatformFor(node, experiments.CoresForNode(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Platform != p {
+		t.Fatal("paper-shaped grid spec did not reuse the shared platform cache entry")
+	}
+	res, err := sc.Evaluate(context.Background())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	app, err := apps.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.DarkSiliconUnderTDP(app, tdp, sc.Tech.FmaxGHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := want.Summary
+	g := res.Summary
+	if g.ActiveCores != w.ActiveCores || g.TotalCores != w.TotalCores ||
+		g.GIPS != w.GIPS || g.PowerW != w.PowerW || g.PeakTempC != w.PeakTempC {
+		t.Fatalf("scenario summary %+v != DarkSiliconUnderTDP summary %+v", g, w)
+	}
+	if res.DarkPercent <= 0 {
+		t.Fatalf("expected dark silicon at TDP %g W, got %.1f%%", tdp, res.DarkPercent)
+	}
+	if res.TSPPerCoreW <= 0 {
+		t.Fatalf("TSPPerCoreW = %g, want > 0", res.TSPPerCoreW)
+	}
+}
+
+func TestEvaluateAsymmetricShelves(t *testing.T) {
+	spec, err := PackByName(PackAsymmetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Compile(spec)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if sc.Spec.Floorplan != FloorplanShelves {
+		t.Fatalf("floorplan = %q, want shelves", sc.Spec.Floorplan)
+	}
+	if got := sc.Platform.NumCores(); got != 88 {
+		t.Fatalf("NumCores = %d, want 88", got)
+	}
+	// Normalized type order is alphabetical: big [0,4), little [4,88).
+	if sc.Types[0].Name != "big" || sc.Types[0].Start != 0 || sc.Types[0].End != 4 {
+		t.Fatalf("big range = %+v", sc.Types[0])
+	}
+	if sc.Types[1].Name != "little" || sc.Types[1].Start != 4 || sc.Types[1].End != 88 {
+		t.Fatalf("little range = %+v", sc.Types[1])
+	}
+	res, err := sc.Evaluate(context.Background())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("got %d app results, want 2", len(res.Apps))
+	}
+	var big, little AppResult
+	for _, a := range res.Apps {
+		switch a.CoreType {
+		case "big":
+			big = a
+		case "little":
+			little = a
+		}
+	}
+	if big.ActiveCores == 0 || little.ActiveCores == 0 {
+		t.Fatalf("expected both types active: big=%d little=%d", big.ActiveCores, little.ActiveCores)
+	}
+	// A big core runs one thread at 2.5x power: it must cost more than a
+	// little core running in a parallel pack.
+	if big.PerCoreW <= little.PerCoreW {
+		t.Fatalf("big per-core %g W <= little %g W", big.PerCoreW, little.PerCoreW)
+	}
+	if res.Summary.PowerW <= 0 || res.Summary.PeakTempC <= 0 {
+		t.Fatalf("implausible summary %+v", res.Summary)
+	}
+	// The fill never spends more than the budget.
+	var spent float64
+	for _, a := range res.Apps {
+		spent += a.PowerW
+	}
+	if spent > spec.TDPW {
+		t.Fatalf("fill spent %.1f W over the %.0f W TDP", spent, spec.TDPW)
+	}
+	if len(res.Tables()) != 3 {
+		t.Fatalf("Tables() = %d tables, want 3", len(res.Tables()))
+	}
+}
+
+func TestEvaluateRespectsInstanceCaps(t *testing.T) {
+	spec, err := PackByName(PackMultiInstancing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Evaluate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		if a.InstancesPowered > a.InstancesRequested {
+			t.Fatalf("%s powered %d instances over its cap %d", a.App, a.InstancesPowered, a.InstancesRequested)
+		}
+		if a.PartialThreads != 0 {
+			// With capped instance counts the partial rule only fires
+			// below the cap; powered == requested forbids a partial.
+			if a.InstancesPowered == a.InstancesRequested {
+				t.Fatalf("%s has a partial instance despite reaching its cap", a.App)
+			}
+		}
+	}
+	if res.Summary.ActiveCores != activeTotal(res) {
+		t.Fatalf("summary active %d != fill total %d", res.Summary.ActiveCores, activeTotal(res))
+	}
+}
+
+func activeTotal(r *Result) int {
+	n := 0
+	for _, a := range r.Apps {
+		n += a.ActiveCores
+	}
+	return n
+}
+
+func TestEvaluateCanceledContext(t *testing.T) {
+	sc, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.Evaluate(ctx); err == nil {
+		t.Fatal("Evaluate with canceled context succeeded")
+	}
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioSpec drives arbitrary bytes through the full front end:
+// Parse must either reject with ErrSpec or yield a struct; anything that
+// normalizes must hash deterministically and re-normalize to a fixed
+// point with the same hash.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add([]byte(`{"node_nm":16,"tdp_w":220,"core_types":[{"name":"core","count":100}],"apps":[{"app":"x264","instances":4}]}`))
+	f.Add([]byte(`{"node_nm":8,"tdp_w":1.5,"core_types":[{"name":"b","count":2,"area_scale":4},{"name":"l","count":10}],"apps":[{"app":"canneal","core_type":"l","instances":1,"threads":3,"f_ghz":2.0}]}`))
+	f.Add([]byte(`{"node_nm":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		ns, err := Normalize(s)
+		if err != nil {
+			return
+		}
+		h1, err := Hash(s)
+		if err != nil {
+			t.Fatalf("spec normalized but Hash failed: %v", err)
+		}
+		// Normalization is a fixed point and hashing is deterministic.
+		ns2, err := Normalize(ns)
+		if err != nil {
+			t.Fatalf("re-normalize failed: %v", err)
+		}
+		h2, err := Hash(ns2)
+		if err != nil {
+			t.Fatalf("re-hash failed: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash not stable across normalization: %s vs %s", h1, h2)
+		}
+		if ns.TotalCores() < 1 || ns.TotalCores() > MaxCores {
+			t.Fatalf("normalized spec has %d cores", ns.TotalCores())
+		}
+	})
+}

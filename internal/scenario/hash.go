@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the content hash of a spec: SHA-256 over the canonical
+// JSON encoding of its normalized form, as a hex string. Specs that
+// differ only in field order, collection order, display name, or
+// explicit-vs-default values hash identically, so the service result
+// cache, singleflight coalescing and the influence cache all key on what
+// the spec means rather than how it was written.
+func Hash(s Spec) (string, error) {
+	ns, err := Normalize(s)
+	if err != nil {
+		return "", err
+	}
+	return hashNormalized(ns), nil
+}
+
+// hashNormalized hashes an already-normalized spec. The display name is
+// excluded: identity is content.
+func hashNormalized(ns Spec) string {
+	ns.Name = ""
+	// encoding/json emits struct fields in declaration order and the
+	// collections are sorted by Normalize, so Marshal is canonical.
+	data, err := json.Marshal(ns)
+	if err != nil {
+		// Spec contains only plain data types; Marshal cannot fail.
+		panic(fmt.Sprintf("scenario: marshal normalized spec: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+
+	"darksim/internal/apps"
+	"darksim/internal/experiments"
+	"darksim/internal/tech"
+)
+
+// The built-in scenario pack reproduces the three Charm exemplar
+// constraint systems (dark_silicon_symmetric, dark_silicon_asymmetric,
+// dark_silicon_multiinstancing) on this repo's calibrated platforms.
+const (
+	PackSymmetric       = "dark_silicon_symmetric"
+	PackAsymmetric      = "dark_silicon_asymmetric"
+	PackMultiInstancing = "dark_silicon_multiinstancing"
+)
+
+// SymmetricSpec is the paper's fixed platform as a spec: one core type,
+// the node's standard core count (100/198/361), a uniform grid, and
+// 8-thread instances of one application at fmax with an unbounded
+// instance cap. Compiling and evaluating it reproduces
+// DarkSiliconUnderTDP on that platform bit for bit — the differential
+// check internal/verify runs.
+func SymmetricSpec(node tech.Node, app string, tdpW float64) Spec {
+	cores := experiments.CoresForNode(node)
+	return Spec{
+		Name:      fmt.Sprintf("%s %s %s", PackSymmetric, node, app),
+		NodeNM:    int(node),
+		TDPW:      tdpW,
+		CoreTypes: []CoreType{{Name: "core", Count: cores}},
+		// Instances = core count: never the binding constraint, so the
+		// fill follows TDPMap's unbounded partial-instance rule.
+		Apps: []AppMix{{App: app, Instances: cores}},
+	}
+}
+
+// Pack returns the built-in scenarios in stable order.
+//
+//   - symmetric: the Fig. 5 headline point — swaptions (the hungriest
+//     app) on the 16 nm 100-core grid at TDP 220 W.
+//   - asymmetric: a big.LITTLE chip — 4 big cores (4× area, 2.5× power,
+//     1.8× perf) hosting single-thread serial phases, 84 little cores
+//     running the parallel phase, shelf-packed.
+//   - multi-instancing: a consolidated mix of three applications with
+//     explicit instance caps competing for one TDP.
+func Pack() []Spec {
+	sym := SymmetricSpec(tech.Node16, "swaptions", 220)
+	sym.Name = PackSymmetric
+	return []Spec{
+		sym,
+		{
+			Name:   PackAsymmetric,
+			NodeNM: int(tech.Node16),
+			TDPW:   220,
+			CoreTypes: []CoreType{
+				{Name: "big", Count: 4, AreaScale: 4, PowerScale: 2.5, PerfScale: 1.8},
+				{Name: "little", Count: 84},
+			},
+			Apps: []AppMix{
+				// Serial phases pinned to big cores, one thread each.
+				{App: "x264", CoreType: "big", Instances: 4, Threads: 1},
+				// The parallel phase spreads over the little cores.
+				{App: "x264", CoreType: "little", Instances: 10, Threads: apps.MaxThreadsPerInstance},
+			},
+		},
+		{
+			Name:   PackMultiInstancing,
+			NodeNM: int(tech.Node16),
+			TDPW:   220,
+			CoreTypes: []CoreType{
+				{Name: "core", Count: 100},
+			},
+			Apps: []AppMix{
+				{App: "x264", Instances: 4},
+				{App: "blackscholes", Instances: 3},
+				{App: "swaptions", Instances: 3},
+			},
+		},
+	}
+}
+
+// PackByName returns one built-in scenario.
+func PackByName(name string) (Spec, error) {
+	for _, s := range Pack() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Pack()))
+	for _, s := range Pack() {
+		names = append(names, s.Name)
+	}
+	return Spec{}, fmt.Errorf("%w: unknown pack scenario %q (have %v)", ErrSpec, name, names)
+}

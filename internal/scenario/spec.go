@@ -1,0 +1,265 @@
+// Package scenario is the declarative front end of darksim: a JSON chip +
+// workload specification and a compiler from that spec to the same
+// platform / floorplan / thermal-model machinery the paper's fixed
+// figures run on.
+//
+// The paper evaluates three hard-wired platforms (100, 198 and 361
+// homogeneous cores). A Spec generalizes that to an open-ended family:
+// any registered node, an asymmetric core mix (big.LITTLE-style types
+// with per-type area/power/perf scaling), an explicit TDP, a floorplan
+// policy and an application mix with instance counts. Specs are
+// canonicalized (defaults applied, collections sorted) and content-hashed
+// so the service layer's result cache, singleflight coalescing and the
+// process-wide influence-matrix cache extend from named figures to
+// arbitrary user-defined scenarios: two specs that mean the same chip
+// share one computation.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"darksim/internal/apps"
+	"darksim/internal/core"
+	"darksim/internal/tech"
+)
+
+// ErrSpec is wrapped by every validation failure, so callers (the service
+// layer maps it to 400) can distinguish bad input from compute failure.
+var ErrSpec = errors.New("scenario: invalid spec")
+
+// MaxCores bounds the total core count of a spec. It matches the service
+// TSP cap: beyond it the block×block influence matrix alone would let a
+// single request exhaust memory.
+const MaxCores = 4096
+
+// CoreType describes one homogeneous group of cores on the chip. Scales
+// are relative to the node's baseline core (1.0 = the paper's core): a
+// big.LITTLE "big" core might use AreaScale 4, PowerScale 2.5, PerfScale
+// 1.8.
+type CoreType struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// AreaScale multiplies the node's per-core area.
+	AreaScale float64 `json:"area_scale,omitempty"`
+	// PowerScale multiplies the application's switching capacitance and
+	// frequency-independent power on this type.
+	PowerScale float64 `json:"power_scale,omitempty"`
+	// PerfScale multiplies per-thread IPC on this type.
+	PerfScale float64 `json:"perf_scale,omitempty"`
+}
+
+// AppMix is one entry of the workload: up to Instances instances of a
+// catalog application, each running Threads dependent threads at FGHz on
+// cores of type CoreType. The TDP fill powers instances in spec order
+// until budget or cores run out; the rest of the chip stays dark.
+type AppMix struct {
+	App string `json:"app"`
+	// CoreType names the core type the instances run on. Empty is
+	// allowed when the spec has exactly one type.
+	CoreType  string `json:"core_type,omitempty"`
+	Instances int    `json:"instances"`
+	// Threads per instance, 1..8 (default 8, the paper's setting).
+	Threads int `json:"threads,omitempty"`
+	// FGHz is the v/f level (default: the node's nominal fmax).
+	FGHz float64 `json:"f_ghz,omitempty"`
+}
+
+// Floorplan policies.
+const (
+	// FloorplanGrid is the paper's uniform grid; it requires a single
+	// core type. Paper-shaped grids are bit-identical to the fixed
+	// platforms of the figures.
+	FloorplanGrid = "grid"
+	// FloorplanShelves shelf-packs heterogeneous core types row by row;
+	// the default whenever the spec has more than one type.
+	FloorplanShelves = "shelves"
+)
+
+// Spec is a declarative chip + workload description.
+type Spec struct {
+	// Name labels the scenario in output; it does not affect the content
+	// hash (a renamed identical spec shares cache entries).
+	Name string `json:"name,omitempty"`
+	// NodeNM is the technology node in nm (22, 16, 11, 8).
+	NodeNM int `json:"node_nm"`
+	// TDPW is the chip power budget in watts.
+	TDPW float64 `json:"tdp_w"`
+	// TDTMC is the DTM trigger temperature in °C (default 80).
+	TDTMC float64 `json:"tdtm_c,omitempty"`
+	// Floorplan selects the placement policy ("grid", "shelves"; default
+	// grid for one core type, shelves otherwise).
+	Floorplan string     `json:"floorplan,omitempty"`
+	CoreTypes []CoreType `json:"core_types"`
+	Apps      []AppMix   `json:"apps"`
+}
+
+// Parse decodes a JSON spec strictly: unknown fields are validation
+// errors, so typos ("tdp" for "tdp_w") fail loudly instead of silently
+// simulating a different chip.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	// Trailing garbage after the object is also a malformed spec.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("%w: trailing data after spec object", ErrSpec)
+	}
+	return s, nil
+}
+
+// Normalize validates a spec and returns its canonical form: defaults
+// made explicit (TDTM, scales, threads, frequencies, core-type
+// references, floorplan policy) and collections sorted. Two specs that
+// normalize equal describe the same scenario; Hash is defined over this
+// form.
+func Normalize(s Spec) (Spec, error) {
+	node := tech.Node(s.NodeNM)
+	ts, err := tech.SpecFor(node)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: node %d nm: %v", ErrSpec, s.NodeNM, err)
+	}
+	if !(s.TDPW > 0) || math.IsInf(s.TDPW, 0) {
+		return Spec{}, fmt.Errorf("%w: TDP must be a positive number of watts, got %g", ErrSpec, s.TDPW)
+	}
+	if s.TDTMC == 0 {
+		s.TDTMC = core.DefaultTDTM
+	}
+	if !(s.TDTMC > 0) || math.IsInf(s.TDTMC, 0) {
+		return Spec{}, fmt.Errorf("%w: TDTM must be a positive temperature in °C, got %g", ErrSpec, s.TDTMC)
+	}
+
+	if len(s.CoreTypes) == 0 {
+		return Spec{}, fmt.Errorf("%w: no core types", ErrSpec)
+	}
+	total := 0
+	seen := make(map[string]bool, len(s.CoreTypes))
+	types := append([]CoreType(nil), s.CoreTypes...)
+	for i, t := range types {
+		if t.Name == "" {
+			return Spec{}, fmt.Errorf("%w: core type %d has no name", ErrSpec, i)
+		}
+		if seen[t.Name] {
+			return Spec{}, fmt.Errorf("%w: duplicate core type %q", ErrSpec, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Count < 1 {
+			return Spec{}, fmt.Errorf("%w: core type %q has count %d", ErrSpec, t.Name, t.Count)
+		}
+		total += t.Count
+		if t.AreaScale == 0 {
+			t.AreaScale = 1
+		}
+		if t.PowerScale == 0 {
+			t.PowerScale = 1
+		}
+		if t.PerfScale == 0 {
+			t.PerfScale = 1
+		}
+		for _, sc := range [...]struct {
+			name string
+			v    float64
+		}{{"area_scale", t.AreaScale}, {"power_scale", t.PowerScale}, {"perf_scale", t.PerfScale}} {
+			if !(sc.v > 0) || math.IsInf(sc.v, 0) {
+				return Spec{}, fmt.Errorf("%w: core type %q has %s %g", ErrSpec, t.Name, sc.name, sc.v)
+			}
+		}
+		types[i] = t
+	}
+	if total > MaxCores {
+		return Spec{}, fmt.Errorf("%w: %d total cores exceeds the %d-core limit", ErrSpec, total, MaxCores)
+	}
+
+	switch s.Floorplan {
+	case "":
+		if len(types) == 1 {
+			s.Floorplan = FloorplanGrid
+		} else {
+			s.Floorplan = FloorplanShelves
+		}
+	case FloorplanGrid:
+		if len(types) != 1 {
+			return Spec{}, fmt.Errorf("%w: the grid floorplan requires exactly one core type, got %d (use %q)",
+				ErrSpec, len(types), FloorplanShelves)
+		}
+	case FloorplanShelves:
+	default:
+		return Spec{}, fmt.Errorf("%w: unknown floorplan policy %q (want %q or %q)",
+			ErrSpec, s.Floorplan, FloorplanGrid, FloorplanShelves)
+	}
+
+	if len(s.Apps) == 0 {
+		return Spec{}, fmt.Errorf("%w: no applications", ErrSpec)
+	}
+	mixes := append([]AppMix(nil), s.Apps...)
+	for i, m := range mixes {
+		if _, err := apps.ByName(m.App); err != nil {
+			return Spec{}, fmt.Errorf("%w: app %d: %v", ErrSpec, i, err)
+		}
+		if m.Instances < 1 {
+			return Spec{}, fmt.Errorf("%w: app %q has %d instances", ErrSpec, m.App, m.Instances)
+		}
+		if m.Threads == 0 {
+			m.Threads = apps.MaxThreadsPerInstance
+		}
+		if m.Threads < 1 || m.Threads > apps.MaxThreadsPerInstance {
+			return Spec{}, fmt.Errorf("%w: app %q has %d threads per instance (want 1..%d)",
+				ErrSpec, m.App, m.Threads, apps.MaxThreadsPerInstance)
+		}
+		if m.CoreType == "" {
+			if len(types) != 1 {
+				return Spec{}, fmt.Errorf("%w: app %q names no core type and the spec has %d types",
+					ErrSpec, m.App, len(types))
+			}
+			m.CoreType = types[0].Name
+		}
+		if !seen[m.CoreType] {
+			return Spec{}, fmt.Errorf("%w: app %q references unknown core type %q", ErrSpec, m.App, m.CoreType)
+		}
+		if m.FGHz == 0 {
+			m.FGHz = ts.FmaxGHz
+		}
+		if !(m.FGHz > 0) || m.FGHz > ts.FmaxGHz {
+			return Spec{}, fmt.Errorf("%w: app %q at %g GHz is outside (0, %g] on %s",
+				ErrSpec, m.App, m.FGHz, ts.FmaxGHz, node)
+		}
+		mixes[i] = m
+	}
+
+	sort.Slice(types, func(i, j int) bool { return types[i].Name < types[j].Name })
+	sort.Slice(mixes, func(i, j int) bool {
+		a, b := mixes[i], mixes[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.CoreType != b.CoreType {
+			return a.CoreType < b.CoreType
+		}
+		if a.FGHz != b.FGHz {
+			return a.FGHz < b.FGHz
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.Instances < b.Instances
+	})
+	s.CoreTypes = types
+	s.Apps = mixes
+	return s, nil
+}
+
+// TotalCores returns the summed core count across types.
+func (s Spec) TotalCores() int {
+	n := 0
+	for _, t := range s.CoreTypes {
+		n += t.Count
+	}
+	return n
+}

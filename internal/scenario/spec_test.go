@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"darksim/internal/core"
+	"darksim/internal/tech"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:      "t",
+		NodeNM:    16,
+		TDPW:      220,
+		CoreTypes: []CoreType{{Name: "core", Count: 100}},
+		Apps:      []AppMix{{App: "x264", Instances: 4}},
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"unknown field": `{"node_nm":16,"tdp":220}`,
+		"trailing":      `{"node_nm":16} {"more":1}`,
+		"wrong type":    `{"node_nm":"sixteen"}`,
+	}
+	for name, body := range cases {
+		if _, err := Parse([]byte(body)); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: err = %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	ns, err := Normalize(validSpec())
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if ns.TDTMC != core.DefaultTDTM {
+		t.Errorf("TDTMC = %g, want %g", ns.TDTMC, core.DefaultTDTM)
+	}
+	if ns.Floorplan != FloorplanGrid {
+		t.Errorf("Floorplan = %q, want grid", ns.Floorplan)
+	}
+	ct := ns.CoreTypes[0]
+	if ct.AreaScale != 1 || ct.PowerScale != 1 || ct.PerfScale != 1 {
+		t.Errorf("scales = %g/%g/%g, want 1/1/1", ct.AreaScale, ct.PowerScale, ct.PerfScale)
+	}
+	m := ns.Apps[0]
+	if m.Threads != 8 {
+		t.Errorf("Threads = %d, want 8", m.Threads)
+	}
+	if m.CoreType != "core" {
+		t.Errorf("CoreType = %q, want core", m.CoreType)
+	}
+	spec, err := tech.SpecFor(tech.Node16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FGHz != spec.FmaxGHz {
+		t.Errorf("FGHz = %g, want node fmax %g", m.FGHz, spec.FmaxGHz)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	mutate := func(f func(*Spec)) Spec {
+		s := validSpec()
+		f(&s)
+		return s
+	}
+	cases := map[string]Spec{
+		"unknown node":      mutate(func(s *Spec) { s.NodeNM = 14 }),
+		"zero TDP":          mutate(func(s *Spec) { s.TDPW = 0 }),
+		"negative TDP":      mutate(func(s *Spec) { s.TDPW = -5 }),
+		"negative TDTM":     mutate(func(s *Spec) { s.TDTMC = -1 }),
+		"no core types":     mutate(func(s *Spec) { s.CoreTypes = nil }),
+		"unnamed type":      mutate(func(s *Spec) { s.CoreTypes[0].Name = "" }),
+		"zero count":        mutate(func(s *Spec) { s.CoreTypes[0].Count = 0 }),
+		"negative scale":    mutate(func(s *Spec) { s.CoreTypes[0].PowerScale = -2 }),
+		"too many cores":    mutate(func(s *Spec) { s.CoreTypes[0].Count = MaxCores + 1 }),
+		"duplicate types":   mutate(func(s *Spec) { s.CoreTypes = append(s.CoreTypes, s.CoreTypes[0]) }),
+		"no apps":           mutate(func(s *Spec) { s.Apps = nil }),
+		"unknown app":       mutate(func(s *Spec) { s.Apps[0].App = "doom" }),
+		"zero instances":    mutate(func(s *Spec) { s.Apps[0].Instances = 0 }),
+		"nine threads":      mutate(func(s *Spec) { s.Apps[0].Threads = 9 }),
+		"unknown core type": mutate(func(s *Spec) { s.Apps[0].CoreType = "gpu" }),
+		"f above fmax":      mutate(func(s *Spec) { s.Apps[0].FGHz = 99 }),
+		"bad floorplan":     mutate(func(s *Spec) { s.Floorplan = "spiral" }),
+		"grid with two types": mutate(func(s *Spec) {
+			s.Floorplan = FloorplanGrid
+			s.CoreTypes = append(s.CoreTypes, CoreType{Name: "big", Count: 2})
+		}),
+	}
+	for name, s := range cases {
+		if _, err := Normalize(s); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: err = %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+func TestHashStableUnderReordering(t *testing.T) {
+	a := Spec{
+		NodeNM: 16,
+		TDPW:   220,
+		CoreTypes: []CoreType{
+			{Name: "big", Count: 4, AreaScale: 4, PowerScale: 2.5, PerfScale: 1.8},
+			{Name: "little", Count: 84},
+		},
+		Apps: []AppMix{
+			{App: "x264", CoreType: "big", Instances: 4, Threads: 1},
+			{App: "swaptions", CoreType: "little", Instances: 3},
+		},
+	}
+	b := a
+	// Reorder collections, rename, and spell defaults out explicitly.
+	b.Name = "same chip, different spelling"
+	b.CoreTypes = []CoreType{a.CoreTypes[1], a.CoreTypes[0]}
+	b.Apps = []AppMix{a.Apps[1], a.Apps[0]}
+	b.CoreTypes[0].AreaScale = 1
+	b.CoreTypes[0].PowerScale = 1
+	b.CoreTypes[0].PerfScale = 1
+	b.Apps[0].Threads = 8
+	b.TDTMC = core.DefaultTDTM
+	b.Floorplan = FloorplanShelves
+
+	ha, err := Hash(a)
+	if err != nil {
+		t.Fatalf("Hash(a): %v", err)
+	}
+	hb, err := Hash(b)
+	if err != nil {
+		t.Fatalf("Hash(b): %v", err)
+	}
+	if ha != hb {
+		t.Fatalf("reordered spec hashes differ: %s vs %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex string", ha)
+	}
+
+	// A material change must move the hash.
+	c := a
+	c.TDPW = 221
+	hc, err := Hash(c)
+	if err != nil {
+		t.Fatalf("Hash(c): %v", err)
+	}
+	if hc == ha {
+		t.Fatal("changing TDP did not change the hash")
+	}
+}
+
+func TestPackNormalizes(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Pack() {
+		if _, err := Normalize(s); err != nil {
+			t.Errorf("pack scenario %q does not normalize: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate pack name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{PackSymmetric, PackAsymmetric, PackMultiInstancing} {
+		if !seen[want] {
+			t.Errorf("pack is missing %q", want)
+		}
+	}
+	if _, err := PackByName("no_such_scenario"); err == nil || !strings.Contains(err.Error(), "unknown pack scenario") {
+		t.Errorf("PackByName(bogus) err = %v", err)
+	}
+	got, err := PackByName(PackSymmetric)
+	if err != nil || got.Name != PackSymmetric {
+		t.Errorf("PackByName(%q) = %+v, %v", PackSymmetric, got, err)
+	}
+}

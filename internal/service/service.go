@@ -33,6 +33,7 @@ import (
 	"darksim/internal/experiments"
 	"darksim/internal/report"
 	"darksim/internal/runner"
+	"darksim/internal/scenario"
 	"darksim/internal/tech"
 	"darksim/internal/tsp"
 )
@@ -152,6 +153,9 @@ func New(cfg Config, exps []experiments.Experiment) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/tsp", s.handleTSP)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioByName)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioPost)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -467,7 +471,7 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key, id str
 			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("%s: computation timed out: %w", id, err))
 		case errors.Is(err, context.Canceled):
 			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, experiments.ErrOptions):
+		case errors.Is(err, experiments.ErrOptions), errors.Is(err, scenario.ErrSpec):
 			writeError(w, http.StatusBadRequest, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)

@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"darksim/internal/apps"
+	"darksim/internal/experiments"
+	"darksim/internal/scenario"
+	"darksim/internal/tech"
+)
+
+// scenarioTDPs are the Figure 5/6 budgets the differential sweeps.
+var scenarioTDPs = []float64{220, 185}
+
+// scenarioApps spans the catalog's extremes: the hungriest app
+// (swaptions), the headline app (x264) and the poorly-scaling one
+// (canneal).
+var scenarioApps = []string{"x264", "swaptions", "canneal"}
+
+// checkScenarioDifferential pins the scenario engine to the paper's
+// fixed platforms: for every node (100/198/361 cores), application and
+// TDP, a paper-shaped symmetric spec compiled through internal/scenario
+// must reproduce DarkSiliconUnderTDP exactly — same shared platform
+// object, bit-identical active cores, GIPS, power and peak temperature.
+// Any drift in spec normalization, floorplan compilation or the TDP-fill
+// arithmetic shows up here as a named failure.
+func checkScenarioDifferential(ctx context.Context) []Failure {
+	var fails []Failure
+	fail := func(node tech.Node, app string, tdp float64, check, format string, args ...any) {
+		fails = append(fails, Failure{
+			Figure: fmt.Sprintf("scenario %s %s TDP=%.0fW", node, app, tdp),
+			Check:  check,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, node := range []tech.Node{tech.Node16, tech.Node11, tech.Node8} {
+		for _, appName := range scenarioApps {
+			for _, tdp := range scenarioTDPs {
+				if err := ctx.Err(); err != nil {
+					fail(node, appName, tdp, "scenario-diff", "context: %v", err)
+					return fails
+				}
+				sc, err := scenario.Compile(scenario.SymmetricSpec(node, appName, tdp))
+				if err != nil {
+					fail(node, appName, tdp, "scenario-compile", "%v", err)
+					continue
+				}
+				p, err := experiments.PlatformFor(node, experiments.CoresForNode(node))
+				if err != nil {
+					fail(node, appName, tdp, "scenario-diff", "platform: %v", err)
+					continue
+				}
+				if sc.Platform != p {
+					fail(node, appName, tdp, "scenario-diff",
+						"compiled platform is not the shared cache entry for %s/%d cores",
+						node, experiments.CoresForNode(node))
+					continue
+				}
+				res, err := sc.Evaluate(ctx)
+				if err != nil {
+					fail(node, appName, tdp, "scenario-eval", "%v", err)
+					continue
+				}
+				app, err := apps.ByName(appName)
+				if err != nil {
+					fail(node, appName, tdp, "scenario-diff", "%v", err)
+					continue
+				}
+				want, err := p.DarkSiliconUnderTDP(app, tdp, sc.Tech.FmaxGHz)
+				if err != nil {
+					fail(node, appName, tdp, "scenario-diff", "DarkSiliconUnderTDP: %v", err)
+					continue
+				}
+				g, w := res.Summary, want.Summary
+				// Exact equality, not tolerance: the scenario engine must
+				// take the same arithmetic path as the figure machinery.
+				if g.ActiveCores != w.ActiveCores {
+					fail(node, appName, tdp, "scenario-diff", "active cores %d != %d", g.ActiveCores, w.ActiveCores)
+				}
+				if g.TotalCores != w.TotalCores {
+					fail(node, appName, tdp, "scenario-diff", "total cores %d != %d", g.TotalCores, w.TotalCores)
+				}
+				if g.GIPS != w.GIPS {
+					fail(node, appName, tdp, "scenario-diff", "GIPS %v != %v", g.GIPS, w.GIPS)
+				}
+				if g.PowerW != w.PowerW {
+					fail(node, appName, tdp, "scenario-diff", "power %v != %v W", g.PowerW, w.PowerW)
+				}
+				if g.PeakTempC != w.PeakTempC {
+					fail(node, appName, tdp, "scenario-diff", "peak %v != %v °C", g.PeakTempC, w.PeakTempC)
+				}
+			}
+		}
+	}
+	return fails
+}

@@ -179,6 +179,14 @@ func Run(ctx context.Context, opt Options) ([]Failure, error) {
 		fmt.Fprintf(out, "verify: recomputing sequentially for determinism\n")
 		fails = append(fails, checkDeterminism(ctx, results)...)
 	}
+
+	// Layer 4: scenario-engine differential — the declarative front end
+	// must reproduce the paper's fixed platforms bit for bit. Full runs
+	// only: the sweep is standalone and a -figs subset asks for less.
+	if len(opt.Figures) == 0 {
+		fmt.Fprintf(out, "verify: scenario differential against fixed platforms\n")
+		fails = append(fails, checkScenarioDifferential(ctx)...)
+	}
 	return fails, nil
 }
 
