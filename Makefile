@@ -2,16 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-shuffle race bench bench-report bench-compare bench-smoke fuzz-smoke verify golden experiments ablations serve clean
+.PHONY: all check build vet lint test test-short test-shuffle race bench bench-report bench-compare bench-smoke fuzz-smoke jobs-smoke verify golden experiments ablations serve clean
 
 all: check
 
 # check is the tier-1 gate: build, vet, tests (also in shuffled order, to
 # catch inter-test state leaks), the race detector over the parallel
-# sweep paths, a short smoke run of every fuzz target, and a one-shot run
+# sweep paths, a short smoke run of every fuzz target, a one-shot run
 # of the dense-vs-sparse solver benchmarks so a broken bench path fails
-# the gate.
-check: build vet test test-shuffle race fuzz-smoke bench-smoke
+# the gate, and the async-runtime smoke (a real shortened fig12 submitted
+# as a run, streamed point by point, compared against the synchronous
+# endpoint).
+check: build vet test test-shuffle race fuzz-smoke bench-smoke jobs-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +66,13 @@ bench-smoke:
 	$(GO) test -bench=ThermalSolve -benchtime=1x -run='^$$' ./internal/thermal
 	$(GO) test -run='TestInfluenceWarmPathZeroSolves' -count=1 -v ./internal/thermal | grep -E 'TestInfluenceWarmPathZeroSolves|ok '
 
+
+# The jobs-runtime smoke: submit a shortened fig12 through POST /v1/runs,
+# consume its SSE stream (one partial table per sweep point), and require
+# the terminal result to be byte-identical to the synchronous endpoint on
+# an independent server. Exercises the whole async path end to end.
+jobs-smoke:
+	$(GO) test -run='TestRunFig12MatchesSync' -count=1 -v ./internal/service | grep -E 'TestRunFig12MatchesSync|ok '
 
 # Short runs of the native fuzz targets ("go test -fuzz" takes exactly
 # one target per invocation); full fuzzing uses longer -fuzztime.

@@ -13,6 +13,12 @@
 //	darksim verify               # check figures against the golden corpus
 //	darksim verify -update       # regenerate the golden corpus
 //	darksim bench                # write the perf-trajectory JSON report
+//	darksim run -follow fig12    # submit to a darksimd daemon and stream
+//
+// `darksim run` submits the computation to a running darksimd as an
+// asynchronous run; -follow streams its per-point partial results over
+// SSE (reconnecting with Last-Event-ID after drops) and exits 0/1/3 for
+// done/failed/cancelled.
 //
 // Transient experiments (fig11–fig13) default to the paper's run lengths;
 // -duration trades fidelity for speed. With `all` and `ablations` the
@@ -58,7 +64,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	subcommands := map[string]bool{"verify": true, "bench": true, "scenario": true}
+	subcommands := map[string]bool{"verify": true, "bench": true, "scenario": true, "run": true}
 	if len(args) == 0 || (len(args) != 1 && !subcommands[args[0]]) || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
@@ -87,6 +93,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 			os.Exit(1)
 		}
+	case "run":
+		code, err := runRun(ctx, args[1:], *format, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+		}
+		os.Exit(code)
 	case "list":
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
@@ -452,6 +464,7 @@ func usage() {
        darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]
        darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]
        darksim scenario -spec file.json | -name <pack scenario> | -list
+       darksim run [-addr url] [-duration s] [-follow] <experiment>|-spec file.json
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"
 (Henkel, Khdr, Pagani, Shafique — DAC 2015), plus ablation studies of

@@ -14,8 +14,17 @@
 //	GET /v1/experiments/fig1              run/fetch one (tables as JSON)
 //	GET /v1/experiments/fig11?duration=5  shortened transient run
 //	GET /v1/tsp?node=16&active=40         thermal safe power query
+//	POST /v1/runs                         submit an async run (202 + run id)
+//	GET /v1/runs/{id}                     run snapshot (terminal: full result)
+//	GET /v1/runs/{id}/events              SSE stream, Last-Event-ID replay
+//	DELETE /v1/runs/{id}                  cooperative cancellation
 //	GET /healthz                          liveness
 //	GET /metrics                          counters + latency histogram
+//
+// With -run-store, run history (state transitions and every partial
+// result) is appended to a file and survives restarts: runs that were
+// mid-flight when the process died reopen as failed, their completed
+// points intact.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"darksim/internal/jobs"
 	"darksim/internal/service"
 )
 
@@ -40,20 +50,33 @@ func main() {
 	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline")
 	workers := flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
+	runStore := flag.String("run-store", "", "append-only file persisting async run history (empty = in-memory)")
+	runQueue := flag.Int("run-queue", 0, "max async runs waiting for a compute slot (0 = 64); a full queue answers 429")
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *cacheTTL, *computeTimeout, *workers, *drainTimeout); err != nil {
+	if err := run(*addr, *cacheSize, *cacheTTL, *computeTimeout, *workers, *drainTimeout, *runStore, *runQueue); err != nil {
 		fmt.Fprintf(os.Stderr, "darksimd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize int, cacheTTL, computeTimeout time.Duration, workers int, drainTimeout time.Duration) error {
+func run(addr string, cacheSize int, cacheTTL, computeTimeout time.Duration, workers int, drainTimeout time.Duration, runStore string, runQueue int) error {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var store jobs.Store
+	if runStore != "" {
+		fs, err := jobs.OpenFileStore(runStore)
+		if err != nil {
+			return err
+		}
+		// The service closes the store when its run manager drains.
+		store = fs
+	}
 	svc := service.New(service.Config{
 		ComputeTimeout: computeTimeout,
 		CacheSize:      cacheSize,
 		CacheTTL:       cacheTTL,
 		Workers:        workers,
+		QueueSize:      runQueue,
+		RunStore:       store,
 		Logger:         log,
 	}, nil)
 	httpServer := &http.Server{

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"darksim/internal/apps"
 	"darksim/internal/boost"
 	"darksim/internal/core"
 	"darksim/internal/mapping"
 	"darksim/internal/metrics"
+	"darksim/internal/progress"
 	"darksim/internal/report"
 	"darksim/internal/runner"
 	"darksim/internal/sim"
@@ -151,7 +153,7 @@ func Fig11(ctx context.Context, opt Fig11Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig11: %d x264 instances: %w", opt.Instances, err)
 	}
-	return &Fig11Result{
+	res := &Fig11Result{
 		Boost:     b,
 		Constant:  c,
 		ConstGHz:  p.BoostLadder.Points[constLevel].FGHz,
@@ -160,7 +162,13 @@ func Fig11(ctx context.Context, opt Fig11Options) (*Fig11Result, error) {
 		TDTM:      p.TDTM,
 		Instances: opt.Instances,
 		DurationS: opt.DurationS,
-	}, nil
+	}
+	// fig11 is a single transient pair, not a sweep: it streams one
+	// point — the summary table — the moment both controllers finish.
+	if progress.Enabled(ctx) {
+		progress.Emit(ctx, progress.Point{Table: res.summaryTable(), Done: 1, Total: 1})
+	}
+	return res, nil
 }
 
 // seriesTable emits named time series in long form (one row per sample),
@@ -178,9 +186,9 @@ func seriesTable(title, unit string, names []string, series []metrics.Series) *r
 	return t
 }
 
-// Tables implements Tabler: a summary table plus the downsampled
-// performance and temperature traces in long form.
-func (r *Fig11Result) Tables() []*report.Table {
+// summaryTable is the transient summary grid — also the per-point
+// fragment fig11 streams to a progress sink.
+func (r *Fig11Result) summaryTable() *report.Table {
 	sum := &report.Table{
 		Title:   fmt.Sprintf("Figure 11: %d x264 instances @16nm — %.0f s transient summary", r.Instances, r.DurationS),
 		Columns: []string{"controller", "avg GIPS", "max temp [°C]"},
@@ -189,9 +197,15 @@ func (r *Fig11Result) Tables() []*report.Table {
 	sum.AddRow(fmt.Sprintf("constant (%.1f GHz)", r.ConstGHz),
 		fmt.Sprintf("%.1f", r.AvgConst), fmt.Sprintf("%.2f", r.Constant.MaxTempC))
 	sum.AddNote("TDTM = %.0f °C", r.TDTM)
+	return sum
+}
+
+// Tables implements Tabler: a summary table plus the downsampled
+// performance and temperature traces in long form.
+func (r *Fig11Result) Tables() []*report.Table {
 	names := []string{"boosting", "constant"}
 	return []*report.Table{
-		sum,
+		r.summaryTable(),
 		seriesTable("performance trace", "GIPS", names,
 			[]metrics.Series{r.Boost.GIPS, r.Constant.GIPS}),
 		seriesTable("max temperature trace", "temp [°C]", names,
@@ -290,7 +304,11 @@ func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
 	}
 	// The sweep points are independent transients against the shared
 	// (read-only) platform; run them on the pool. A failing point cancels
-	// the rest and is reported with its core count.
+	// the rest and is reported with its core count. When the context
+	// carries a progress sink, each completed point is streamed as a
+	// one-row fragment of the final table the moment it finishes, in
+	// completion order.
+	var emitted atomic.Int64
 	points, err := runner.Map(ctx, coreCounts, runner.Options{}, func(ctx context.Context, _, cores int) (Fig12Point, error) {
 		fail := func(err error) (Fig12Point, error) {
 			return Fig12Point{}, fmt.Errorf("fig12: sweep point %d active cores: %w", cores, err)
@@ -306,13 +324,21 @@ func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return Fig12Point{
+		pt := Fig12Point{
 			ActiveCores: cores,
 			BoostGIPS:   b.AvgGIPS,
 			ConstGIPS:   c.AvgGIPS,
 			BoostPowerW: b.PeakPowerW,
 			ConstPowerW: c.PeakPowerW,
-		}, nil
+		}
+		if progress.Enabled(ctx) {
+			frag := fig12Table(fmt.Sprintf("Figure 12 — sweep point: %d active cores", cores))
+			frag.AddRow(fig12Row(pt)...)
+			progress.Emit(ctx, progress.Point{
+				Table: frag, Done: int(emitted.Add(1)), Total: len(coreCounts),
+			})
+		}
+		return pt, nil
 	})
 	if err != nil {
 		return nil, err
@@ -320,18 +346,32 @@ func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
 	return &Fig12Result{Points: points}, nil
 }
 
-// Tables implements Tabler.
-func (r *Fig12Result) Tables() []*report.Table {
-	t := &report.Table{
-		Title:   "Figure 12: x264 @16nm — performance and power vs active cores",
+// fig12Table returns an empty grid in Figure 12's column shape; the full
+// result and each streamed fragment share it, so a fragment row is
+// cell-identical to the corresponding row of the final table.
+func fig12Table(title string) *report.Table {
+	return &report.Table{
+		Title:   title,
 		Columns: []string{"active cores", "boost GIPS", "const GIPS", "boost peak W", "const peak W"},
 	}
+}
+
+// fig12Row formats one sweep point as table cells.
+func fig12Row(pt Fig12Point) []string {
+	return []string{
+		fmt.Sprintf("%d", pt.ActiveCores),
+		fmt.Sprintf("%.0f", pt.BoostGIPS),
+		fmt.Sprintf("%.0f", pt.ConstGIPS),
+		fmt.Sprintf("%.0f", pt.BoostPowerW),
+		fmt.Sprintf("%.0f", pt.ConstPowerW),
+	}
+}
+
+// Tables implements Tabler.
+func (r *Fig12Result) Tables() []*report.Table {
+	t := fig12Table("Figure 12: x264 @16nm — performance and power vs active cores")
 	for _, pt := range r.Points {
-		t.AddRow(fmt.Sprintf("%d", pt.ActiveCores),
-			fmt.Sprintf("%.0f", pt.BoostGIPS),
-			fmt.Sprintf("%.0f", pt.ConstGIPS),
-			fmt.Sprintf("%.0f", pt.BoostPowerW),
-			fmt.Sprintf("%.0f", pt.ConstPowerW))
+		t.AddRow(fig12Row(pt)...)
 	}
 	return []*report.Table{t}
 }
@@ -415,7 +455,10 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 	}
 	// Scenarios are independent transients on the shared read-only
 	// platform; run them on the pool. A failing scenario cancels the rest
-	// and is reported with its (app, instances) identity.
+	// and is reported with its (app, instances) identity. With a progress
+	// sink on the context, each completed app×instances point streams as
+	// a one-row fragment in completion order.
+	var emitted atomic.Int64
 	rows, err := runner.Map(ctx, scenarios, runner.Options{}, func(ctx context.Context, _ int, sc scenario) (Fig13Row, error) {
 		fail := func(err error) (Fig13Row, error) {
 			return Fig13Row{}, fmt.Errorf("fig13: scenario %s x%d instances: %w", sc.app.Name, sc.instances, err)
@@ -432,7 +475,7 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 			return fail(err)
 		}
 		constPt := p.BoostLadder.Points[constLevel]
-		return Fig13Row{
+		row := Fig13Row{
 			App:        sc.app.Name,
 			Instances:  sc.instances,
 			BoostGIPS:  b.AvgGIPS,
@@ -441,7 +484,15 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 			ConstPeakW: c.PeakPowerW,
 			MinVdd:     constPt.Vdd,
 			MinFGHz:    constPt.FGHz,
-		}, nil
+		}
+		if progress.Enabled(ctx) {
+			frag := fig13Table(fmt.Sprintf("Figure 13 — scenario: %s x%d instances", sc.app.Name, sc.instances))
+			frag.AddRow(fig13Row(row)...)
+			progress.Emit(ctx, progress.Point{
+				Table: frag, Done: int(emitted.Add(1)), Total: len(scenarios),
+			})
+		}
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
@@ -461,20 +512,33 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 	return res, nil
 }
 
-// Tables implements Tabler.
-func (r *Fig13Result) Tables() []*report.Table {
-	t := &report.Table{
-		Title:   "Figure 13: boosting vs constant frequency, 11 nm (198 cores), 8 threads/instance",
+// fig13Table returns an empty grid in Figure 13's column shape, shared
+// by the full result and the streamed per-scenario fragments.
+func fig13Table(title string) *report.Table {
+	return &report.Table{
+		Title:   title,
 		Columns: []string{"app", "instances", "boost GIPS", "const GIPS", "boost peak W", "const peak W", "const GHz"},
 	}
+}
+
+// fig13Row formats one scenario as table cells.
+func fig13Row(row Fig13Row) []string {
+	return []string{
+		row.App,
+		fmt.Sprintf("%d", row.Instances),
+		fmt.Sprintf("%.0f", row.BoostGIPS),
+		fmt.Sprintf("%.0f", row.ConstGIPS),
+		fmt.Sprintf("%.0f", row.BoostPeakW),
+		fmt.Sprintf("%.0f", row.ConstPeakW),
+		fmt.Sprintf("%.1f", row.MinFGHz),
+	}
+}
+
+// Tables implements Tabler.
+func (r *Fig13Result) Tables() []*report.Table {
+	t := fig13Table("Figure 13: boosting vs constant frequency, 11 nm (198 cores), 8 threads/instance")
 	for _, row := range r.Rows {
-		t.AddRow(row.App,
-			fmt.Sprintf("%d", row.Instances),
-			fmt.Sprintf("%.0f", row.BoostGIPS),
-			fmt.Sprintf("%.0f", row.ConstGIPS),
-			fmt.Sprintf("%.0f", row.BoostPeakW),
-			fmt.Sprintf("%.0f", row.ConstPeakW),
-			fmt.Sprintf("%.1f", row.MinFGHz))
+		t.AddRow(fig13Row(row)...)
 	}
 	t.AddNote("minimum utilized V/f across scenarios: %.2f V / %.1f GHz — %s region",
 		r.MinVdd, r.MinFGHz, r.Region)

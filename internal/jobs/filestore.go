@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileStore is the durable Store: one append-only file of JSON lines,
+// one line per creation record or event. Opening an existing file
+// replays it into an in-memory index, so reads never touch the disk
+// again; appends are written through immediately.
+//
+// The format is deliberately dumb — a self-describing record per line:
+//
+//	{"create":{"id":"r1","kind":"experiment",...}}
+//	{"run":"r1","event":{"seq":1,"type":"state","state":"running",...}}
+//
+// A process killed mid-write leaves at most one truncated final line,
+// which Open tolerates (the partial record is dropped, everything before
+// it survives). Completed partial results are therefore never lost to a
+// crash; only the event being written at the instant of death can be.
+type FileStore struct {
+	mu   sync.RWMutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	mem  *MemStore // the replayed index; all reads are served from here
+}
+
+// fileRecord is one JSON line of the store file.
+type fileRecord struct {
+	Create *Meta  `json:"create,omitempty"`
+	Run    string `json:"run,omitempty"`
+	Event  *Event `json:"event,omitempty"`
+}
+
+// OpenFileStore opens (creating if absent) the append-only run store at
+// path and replays its contents.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open run store: %w", err)
+	}
+	s := &FileStore{path: path, f: f, mem: NewMemStore()}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: seek run store: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay loads every intact record into the in-memory index. A truncated
+// final line (crash mid-append) is dropped; a corrupt record anywhere
+// else is a hard error — the store must not silently skip history.
+func (s *FileStore) replay() error {
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			// The malformed record was not the final line.
+			return pendingErr
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec fileRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("jobs: run store %s line %d: %w", s.path, line, err)
+			continue
+		}
+		switch {
+		case rec.Create != nil:
+			if err := s.mem.Create(*rec.Create); err != nil {
+				return fmt.Errorf("jobs: run store %s line %d: %w", s.path, line, err)
+			}
+		case rec.Run != "" && rec.Event != nil:
+			if err := s.mem.Append(rec.Run, *rec.Event); err != nil {
+				return fmt.Errorf("jobs: run store %s line %d: %w", s.path, line, err)
+			}
+		default:
+			pendingErr = fmt.Errorf("jobs: run store %s line %d: record has neither create nor event", s.path, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobs: reading run store %s: %w", s.path, err)
+	}
+	// pendingErr on the final line is the torn-write case: drop it.
+	return nil
+}
+
+// write appends one record and flushes it to the OS.
+func (s *FileStore) write(rec fileRecord) error {
+	if s.w == nil {
+		return errors.New("jobs: run store is closed")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(data); err != nil {
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Create implements Store.
+func (s *FileStore) Create(meta Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mem.Create(meta); err != nil {
+		return err
+	}
+	return s.write(fileRecord{Create: &meta})
+}
+
+// Append implements Store.
+func (s *FileStore) Append(id string, ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mem.Append(id, ev); err != nil {
+		return err
+	}
+	return s.write(fileRecord{Run: id, Event: &ev})
+}
+
+// Events implements Store.
+func (s *FileStore) Events(id string, afterSeq int64) ([]Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.Events(id, afterSeq)
+}
+
+// Load implements Store.
+func (s *FileStore) Load() ([]Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.Load()
+}
+
+// Close flushes and closes the file. Further writes fail.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	ferr := s.w.Flush()
+	s.w = nil
+	return errors.Join(ferr, s.f.Close())
+}

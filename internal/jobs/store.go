@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store persists run creation records and their event logs. The Manager
+// serializes Create/Append per run; Events may be called concurrently
+// with appends, so implementations must be safe for concurrent use.
+//
+// The log is append-only: events arrive with strictly increasing Seq per
+// run and are never rewritten. That is what makes replay cheap and
+// byte-stable — a subscriber that reconnects re-reads exactly the
+// records it missed.
+type Store interface {
+	// Create persists a new run's creation record. The run id must be
+	// unused.
+	Create(meta Meta) error
+	// Append persists one event of an existing run.
+	Append(id string, ev Event) error
+	// Events returns the persisted events of a run with Seq > afterSeq,
+	// in Seq order.
+	Events(id string, afterSeq int64) ([]Event, error)
+	// Load returns every persisted run's creation record, in creation
+	// order. The Manager calls it once at startup to rebuild snapshots.
+	Load() ([]Meta, error)
+	// Close releases the store's resources. A closed store rejects
+	// further writes.
+	Close() error
+}
+
+// ErrNoRun is wrapped by store errors for operations on unknown run ids.
+var ErrNoRun = fmt.Errorf("jobs: no such run")
+
+// storedRun is one run held by MemStore.
+type storedRun struct {
+	meta   Meta
+	events []Event
+}
+
+// MemStore is the in-memory Store: fast, empty after restart. It is the
+// default for tests and for daemons that do not need durability.
+type MemStore struct {
+	mu    sync.RWMutex
+	runs  map[string]*storedRun
+	order []string
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{runs: make(map[string]*storedRun)}
+}
+
+// Create implements Store.
+func (s *MemStore) Create(meta Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.runs[meta.ID]; ok {
+		return fmt.Errorf("jobs: run %s already exists", meta.ID)
+	}
+	s.runs[meta.ID] = &storedRun{meta: meta}
+	s.order = append(s.order, meta.ID)
+	return nil
+}
+
+// Append implements Store.
+func (s *MemStore) Append(id string, ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRun, id)
+	}
+	r.events = append(r.events, ev)
+	return nil
+}
+
+// Events implements Store.
+func (s *MemStore) Events(id string, afterSeq int64) ([]Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRun, id)
+	}
+	// Events are in Seq order; binary-search the resume point.
+	i := sort.Search(len(r.events), func(i int) bool { return r.events[i].Seq > afterSeq })
+	out := make([]Event, len(r.events)-i)
+	copy(out, r.events[i:])
+	return out, nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load() ([]Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Meta, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id].meta)
+	}
+	return out, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,63 @@
+// Package progress carries a per-point result sink through a context.
+//
+// Long sweeps (the fig12 core-count sweep, the fig13 app×instances grid,
+// a scenario's per-entry TDP fill) complete one independent point at a
+// time; the async job runtime wants each point the moment it is done, as
+// a report.Table fragment, so partial results can be persisted and
+// streamed to subscribers while the sweep is still running.
+//
+// The sink rides on the context so the experiment signatures stay
+// unchanged: a caller that wants streaming installs a sink with With,
+// sweep loops publish fragments with Emit, and everything else pays a
+// single nil check. Sinks must be safe for concurrent calls — parallel
+// sweeps emit from worker goroutines in completion order.
+package progress
+
+import (
+	"context"
+
+	"darksim/internal/report"
+)
+
+// Point is one completed unit of a larger computation: a self-describing
+// table fragment (typically one row in the shape of the final table) plus
+// the completion count it represents. Done is the arrival rank of the
+// point (1-based), Total the number of points the computation will emit;
+// parallel sweeps emit in completion order, so a fragment's Done says how
+// many points are finished, not which sweep position it holds — the
+// fragment's own cells carry that.
+type Point struct {
+	Table *report.Table
+	Done  int
+	Total int
+}
+
+// Sink receives completed points. Implementations must tolerate
+// concurrent calls from multiple goroutines.
+type Sink func(Point)
+
+// ctxKey is the private context key for the sink.
+type ctxKey struct{}
+
+// With returns a context carrying the sink. A nil sink returns ctx
+// unchanged.
+func With(ctx context.Context, s Sink) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// Enabled reports whether ctx carries a sink, so sweeps can skip building
+// fragment tables nobody will see.
+func Enabled(ctx context.Context) bool {
+	return ctx.Value(ctxKey{}) != nil
+}
+
+// Emit publishes one point to the context's sink; without a sink it is a
+// no-op.
+func Emit(ctx context.Context, p Point) {
+	if s, ok := ctx.Value(ctxKey{}).(Sink); ok {
+		s(p)
+	}
+}

@@ -1,0 +1,34 @@
+package progress
+
+import (
+	"context"
+	"testing"
+
+	"darksim/internal/report"
+)
+
+func TestSinkRidesTheContext(t *testing.T) {
+	ctx := context.Background()
+	if Enabled(ctx) {
+		t.Fatal("bare context reports a sink")
+	}
+	// Emitting without a sink is a safe no-op.
+	Emit(ctx, Point{Done: 1, Total: 1})
+
+	var got []Point
+	ctx = With(ctx, func(p Point) { got = append(got, p) })
+	if !Enabled(ctx) {
+		t.Fatal("context with sink reports Enabled() == false")
+	}
+	tbl := &report.Table{Title: "frag", Columns: []string{"v"}, Rows: [][]string{{"1"}}}
+	Emit(ctx, Point{Table: tbl, Done: 1, Total: 2})
+	Emit(ctx, Point{Done: 2, Total: 2})
+	if len(got) != 2 || got[0].Table != tbl || got[1].Done != 2 {
+		t.Fatalf("sink received %+v, want both points in order", got)
+	}
+
+	// A nil sink leaves the context untouched instead of poisoning it.
+	if With(context.Background(), nil) != context.Background() {
+		t.Error("With(nil) wrapped the context")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"darksim/internal/apps"
 	"darksim/internal/mapping"
 	"darksim/internal/metrics"
+	"darksim/internal/progress"
 	"darksim/internal/report"
 	"darksim/internal/tsp"
 )
@@ -85,13 +86,20 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 		CoreTypes:    sc.Spec.CoreTypes,
 	}
 
+	// With a progress sink on the context, each workload entry's fill
+	// streams as a one-row fragment the moment it is decided, and the
+	// thermal ground truth arrives as the final point. Points here are
+	// sequential (the fill walks entries in spec order).
+	emitting := progress.Enabled(ctx)
+	totalPoints := len(sc.Spec.Apps) + 1 // entries + thermal summary
+
 	// cursor[type] is the next free block of that type's range.
 	cursor := make(map[string]int, len(sc.Types))
 	for _, t := range sc.Types {
 		cursor[t.Name] = t.Start
 	}
 	budget := sc.Spec.TDPW
-	for _, m := range sc.Spec.Apps {
+	for entryIdx, m := range sc.Spec.Apps {
 		ct, err := sc.typeByName(m.CoreType)
 		if err != nil {
 			return nil, err
@@ -163,6 +171,11 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 		}
 		budget -= entry.PowerW
 		res.Apps = append(res.Apps, entry)
+		if emitting {
+			frag := fillTable(fmt.Sprintf("TDP fill — entry: %s on %s", entry.App, entry.CoreType))
+			frag.AddRow(fillRow(entry)...)
+			progress.Emit(ctx, progress.Point{Table: frag, Done: entryIdx + 1, Total: totalPoints})
+		}
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: fill produced an invalid plan: %w", err)
@@ -190,6 +203,11 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		res.TSPPerCoreW = budget
+	}
+	if emitting {
+		progress.Emit(ctx, progress.Point{
+			Table: res.summaryTable(), Done: totalPoints, Total: totalPoints,
+		})
 	}
 	return res, nil
 }
@@ -235,24 +253,43 @@ func (r *Result) Tables() []*report.Table {
 	chip.AddNote("die area: %.1f mm²", r.TotalAreaMM2)
 	chip.AddNote("spec hash: %s", r.Hash)
 
-	fill := &report.Table{
-		Title: "TDP fill (constraint system per workload entry)",
+	fill := fillTable("TDP fill (constraint system per workload entry)")
+	for _, a := range r.Apps {
+		fill.AddRow(fillRow(a)...)
+	}
+
+	return []*report.Table{chip, fill, r.summaryTable()}
+}
+
+// fillTable returns an empty grid in the TDP-fill column shape, shared
+// by the full result and the streamed per-entry fragments.
+func fillTable(title string) *report.Table {
+	return &report.Table{
+		Title: title,
 		Columns: []string{"app", "core type", "f [GHz]", "threads",
 			"instances", "powered", "active cores", "W/core", "power [W]", "speedup", "GIPS"},
 	}
-	for _, a := range r.Apps {
-		fill.AddRow(a.App, a.CoreType,
-			fmt.Sprintf("%.1f", a.FGHz),
-			strconv.Itoa(a.Threads),
-			strconv.Itoa(a.InstancesRequested),
-			strconv.Itoa(a.InstancesPowered),
-			strconv.Itoa(a.ActiveCores),
-			fmt.Sprintf("%.3f", a.PerCoreW),
-			fmt.Sprintf("%.1f", a.PowerW),
-			fmt.Sprintf("%.2f", a.SpeedupPerInstance),
-			fmt.Sprintf("%.1f", a.GIPS))
-	}
+}
 
+// fillRow formats one workload entry's fill outcome as table cells.
+func fillRow(a AppResult) []string {
+	return []string{
+		a.App, a.CoreType,
+		fmt.Sprintf("%.1f", a.FGHz),
+		strconv.Itoa(a.Threads),
+		strconv.Itoa(a.InstancesRequested),
+		strconv.Itoa(a.InstancesPowered),
+		strconv.Itoa(a.ActiveCores),
+		fmt.Sprintf("%.3f", a.PerCoreW),
+		fmt.Sprintf("%.1f", a.PowerW),
+		fmt.Sprintf("%.2f", a.SpeedupPerInstance),
+		fmt.Sprintf("%.1f", a.GIPS),
+	}
+}
+
+// summaryTable is the thermal ground-truth grid — also the final
+// fragment a streamed evaluation emits.
+func (r *Result) summaryTable() *report.Table {
 	sum := &report.Table{
 		Title:   "Thermal ground truth (steady state on the compiled platform)",
 		Columns: []string{"active", "total", "dark [%]", "GIPS", "power [W]", "peak [°C]"},
@@ -269,5 +306,5 @@ func (r *Result) Tables() []*report.Table {
 		sum.AddNote("worst-case TSP at %d active cores: %.3f W/core (%.1f W total)",
 			r.Summary.ActiveCores, r.TSPPerCoreW, r.TSPPerCoreW*float64(r.Summary.ActiveCores))
 	}
-	return []*report.Table{chip, fill, sum}
+	return sum
 }

@@ -3,6 +3,8 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"darksim/internal/jobs"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the compute
@@ -63,10 +65,14 @@ type Snapshot struct {
 		TotalMS          float64  `json:"total_ms"`
 		LatencyMS        []Bucket `json:"latency_ms_buckets"`
 	} `json:"compute"`
+	// Runs is the async run runtime: queue depth/capacity, live gauges,
+	// terminal counters, and the number of connected SSE subscribers.
+	Runs jobs.Stats `json:"runs"`
 }
 
-// snapshot captures the counters; cacheSize is sampled by the caller.
-func (m *Metrics) snapshot(cacheSize int) Snapshot {
+// snapshot captures the counters; cacheSize and runs are sampled by the
+// caller.
+func (m *Metrics) snapshot(cacheSize int, runs jobs.Stats) Snapshot {
 	var s Snapshot
 	s.Requests = m.Requests.Load()
 	s.Cache.Hits = m.CacheHits.Load()
@@ -86,5 +92,6 @@ func (m *Metrics) snapshot(cacheSize int) Snapshot {
 		}
 		s.Compute.LatencyMS = append(s.Compute.LatencyMS, b)
 	}
+	s.Runs = runs
 	return s
 }

@@ -83,16 +83,27 @@ func (s *Server) handleScenarioPost(w http.ResponseWriter, r *http.Request) {
 // serveScenario validates eagerly (cheap, 400s before any compute slot is
 // taken) and runs compile + evaluate through the do pipeline.
 func (s *Server) serveScenario(w http.ResponseWriter, r *http.Request, spec scenario.Spec) {
-	hash, err := scenario.Hash(spec)
+	key, params, fn, err := scenarioCompute(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	s.serveResult(w, r, key, "scenario", params, fn)
+}
+
+// scenarioCompute resolves a spec into its content-hash cache key,
+// response params, and compile+evaluate closure — shared by the
+// synchronous scenario handlers and POST /v1/runs, so an async scenario
+// run dedupes and caches exactly like the synchronous request.
+func scenarioCompute(spec scenario.Spec) (string, map[string]string, computeFn, error) {
+	hash, err := scenario.Hash(spec)
+	if err != nil {
+		return "", nil, nil, err
 	}
 	params := map[string]string{"hash": hash}
 	if spec.Name != "" {
 		params["name"] = spec.Name
 	}
-	key := "scenario:" + hash
 	fn := func(ctx context.Context) ([]*report.Table, error) {
 		sc, err := scenario.Compile(spec)
 		if err != nil {
@@ -104,5 +115,5 @@ func (s *Server) serveScenario(w http.ResponseWriter, r *http.Request, spec scen
 		}
 		return res.Tables(), nil
 	}
-	s.serveResult(w, r, key, "scenario", params, fn)
+	return "scenario:" + hash, params, fn, nil
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"darksim/internal/experiments"
+	"darksim/internal/jobs"
 	"darksim/internal/report"
 	"darksim/internal/runner"
 	"darksim/internal/scenario"
@@ -57,11 +58,26 @@ type Config struct {
 	// Workers bounds concurrently running computations (default
 	// runner.DefaultWorkers()).
 	Workers int
+	// QueueSize bounds asynchronous runs waiting for a compute slot
+	// (default 64); a full queue rejects POST /v1/runs with 429.
+	QueueSize int
+	// RunStore persists run history across restarts (e.g. a
+	// jobs.FileStore); nil keeps runs in memory only.
+	RunStore jobs.Store
+	// RetryAfter is the backoff hint attached to 429 and drain 503
+	// responses (default 5s).
+	RetryAfter time.Duration
 	// Logger receives structured request logs; nil disables logging.
 	Logger *slog.Logger
 	// Now is the clock (for tests); nil means time.Now.
 	Now func() time.Time
 }
+
+// computeFn produces one request key's result tables; it is the unit
+// both the synchronous do pipeline and the asynchronous run runtime
+// execute, which is what guarantees a run's terminal result is identical
+// to the synchronous response for the same key.
+type computeFn func(ctx context.Context) ([]*report.Table, error)
 
 // Result is the computed payload for one request key, as served to
 // clients and stored in the cache.
@@ -97,6 +113,7 @@ type Server struct {
 	flights flightGroup
 	metrics *Metrics
 	pool    *runner.Group
+	runs    *jobs.Manager
 	stop    context.CancelFunc
 	start   time.Time
 
@@ -121,6 +138,9 @@ func New(cfg Config, exps []experiments.Experiment) *Server {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runner.DefaultWorkers()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -150,12 +170,35 @@ func New(cfg Config, exps []experiments.Experiment) *Server {
 		s.exps[e.ID] = e
 		s.order = append(s.order, experimentInfo{ID: e.ID, Description: e.Description})
 	}
+	runsCfg := jobs.Config{
+		Store:     cfg.RunStore,
+		Pool:      pool,
+		QueueSize: cfg.QueueSize,
+		Timeout:   cfg.ComputeTimeout,
+		Logger:    log,
+		Now:       cfg.Now,
+	}
+	mgr, err := jobs.New(runsCfg)
+	if err != nil {
+		// The store replay is done by OpenFileStore before it reaches us;
+		// an error here means a store that lies about its own history.
+		// Serve with in-memory runs rather than refuse to start.
+		log.Error("run store unusable; falling back to in-memory runs", "err", err)
+		runsCfg.Store = nil
+		mgr, _ = jobs.New(runsCfg)
+	}
+	s.runs = mgr
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/tsp", s.handleTSP)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioByName)
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioPost)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRunSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRunList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleRunCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -182,6 +225,10 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so the
+// SSE handler can flush through the logging wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // ServeHTTP implements http.Handler with counting and structured logs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
@@ -200,10 +247,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops accepting new computations and drains the in-flight ones
-// through the runner pool; ctx bounds the drain. After the drain (or on
-// ctx expiry) the base context is cancelled, so stragglers observe
-// cancellation. Cached results keep being served after Close.
+// through the runner pool; ctx bounds the drain. The run manager drains
+// first (queued and running runs finish or, at ctx expiry, are
+// interrupted and marked failed — their persisted points survive), then
+// the synchronous computations. After the drain (or on ctx expiry) the
+// base context is cancelled, so stragglers observe cancellation. Cached
+// results keep being served after Close.
 func (s *Server) Close(ctx context.Context) error {
+	rerr := s.runs.Close(ctx)
 	s.drainMu <- struct{}{}
 	already := s.closed
 	s.closed = true
@@ -217,7 +268,7 @@ func (s *Server) Close(ctx context.Context) error {
 	case <-idle:
 		s.stop()
 		s.pool.Wait()
-		return nil
+		return rerr
 	case <-ctx.Done():
 		s.stop() // hurry the stragglers via context cancellation
 		<-idle
@@ -341,35 +392,55 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.order)
 }
 
+// errUnknownExperiment marks lookups of unregistered experiment names,
+// so both the sync and async paths map them to 404.
+var errUnknownExperiment = errors.New("unknown experiment")
+
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	e, ok := s.exps[name]
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
-		return
-	}
 	if err := allowParams(r, "duration"); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var duration float64
-	params := map[string]string{}
 	if v := r.URL.Query().Get("duration"); v != "" {
 		d, err := strconv.ParseFloat(v, 64)
 		if err != nil || d <= 0 || math.IsInf(d, 0) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid duration %q: want a positive number of seconds", v))
 			return
 		}
-		if !transientFigures[name] {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("duration is only supported for the transient figures (fig11–fig13), not %q", name))
-			return
-		}
 		duration = d
-		params["duration"] = v
+	}
+	key, params, fn, err := s.experimentCompute(name, duration)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errUnknownExperiment) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.serveResult(w, r, key, name, params, fn)
+}
+
+// experimentCompute resolves an experiment name (with optional duration
+// override) into its cache key, response params, and compute closure —
+// the one resolution both GET /v1/experiments/{name} and POST /v1/runs
+// share, so an async run produces the same key and the same tables as
+// the synchronous request.
+func (s *Server) experimentCompute(name string, duration float64) (string, map[string]string, computeFn, error) {
+	e, ok := s.exps[name]
+	if !ok {
+		return "", nil, nil, fmt.Errorf("%w %q", errUnknownExperiment, name)
 	}
 	key := name
+	params := map[string]string{}
 	if duration > 0 {
+		if !transientFigures[name] {
+			return "", nil, nil, fmt.Errorf("duration is only supported for the transient figures (fig11–fig13), not %q", name)
+		}
 		key = fmt.Sprintf("%s?duration=%g", name, duration)
+		params["duration"] = strconv.FormatFloat(duration, 'g', -1, 64)
 	}
 	fn := func(ctx context.Context) ([]*report.Table, error) {
 		res, err := runExperiment(ctx, e, duration)
@@ -382,7 +453,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		return tables, nil
 	}
-	s.serveResult(w, r, key, name, params, fn)
+	return key, params, fn, nil
 }
 
 // runExperiment dispatches with the optional duration override.
@@ -466,7 +537,7 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key, id str
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.writeRetryError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("%s: computation timed out: %w", id, err))
 		case errors.Is(err, context.Canceled):
@@ -489,7 +560,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), s.runs.Stats()))
 }
 
 // allowParams rejects query parameters outside the allowed set, so typos
