@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-shuffle race bench bench-report bench-compare bench-smoke fuzz-smoke jobs-smoke verify golden experiments ablations serve clean
+.PHONY: all check build vet lint test test-short test-shuffle race bench bench-report bench-compare bench-smoke fuzz-smoke jobs-smoke policy-smoke cover verify golden experiments ablations serve clean
 
 all: check
 
@@ -10,10 +10,11 @@ all: check
 # catch inter-test state leaks), the race detector over the parallel
 # sweep paths, a short smoke run of every fuzz target, a one-shot run
 # of the dense-vs-sparse solver benchmarks so a broken bench path fails
-# the gate, and the async-runtime smoke (a real shortened fig12 submitted
+# the gate, the async-runtime smoke (a real shortened fig12 submitted
 # as a run, streamed point by point, compared against the synchronous
-# endpoint).
-check: build vet test test-shuffle race fuzz-smoke bench-smoke jobs-smoke
+# endpoint), and the policy-sandbox smoke (head-to-head race with the
+# unsafe negative control caught, under the race detector).
+check: build vet test test-shuffle race fuzz-smoke bench-smoke jobs-smoke policy-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,13 @@ bench-smoke:
 jobs-smoke:
 	$(GO) test -run='TestRunFig12MatchesSync' -count=1 -v ./internal/service | grep -E 'TestRunFig12MatchesSync|ok '
 
+# The policy-sandbox smoke: race the default trio head-to-head on a pack
+# scenario with assertion-checked traces, require the unsafe boost
+# variant to be caught with its violating step named, and run the
+# sandbox's concurrent/cancellation paths under the race detector.
+policy-smoke:
+	$(GO) test -race -run='TestExecute|TestExecuteUnsafeCaught|TestRunAllConcurrent|TestRunAllCancel' -count=1 -v ./internal/policy | grep -E 'TestExecute|TestRunAll|ok '
+
 # Short runs of the native fuzz targets ("go test -fuzz" takes exactly
 # one target per invocation); full fuzzing uses longer -fuzztime.
 FUZZTIME ?= 5s
@@ -84,6 +92,21 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCSRMulVec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
 	$(GO) test -fuzz=FuzzCGBlock -fuzztime=$(FUZZTIME) -run='^$$' ./internal/linalg
 	$(GO) test -fuzz=FuzzScenarioSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/scenario
+	$(GO) test -fuzz=FuzzPolicyTrace -fuzztime=$(FUZZTIME) -run='^$$' ./internal/policy
+
+# Statement-coverage floors for the verification surface. The assertion
+# engine (internal/verify) and the policy sandbox (internal/policy) are
+# what the rest of the gate leans on — a gap there is a gap in every
+# check built on top — so their coverage may not regress below 80%.
+COVER_FLOOR ?= 80.0
+cover:
+	@fail=0; for pkg in ./internal/policy ./internal/verify; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage reported (test failure?)"; fail=1; continue; fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		if awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }'; then :; else \
+			echo "cover: $$pkg is below the $(COVER_FLOOR)% floor"; fail=1; fi; \
+	done; exit $$fail
 
 # Static analysis beyond vet. staticcheck is optional locally (CI
 # installs a pinned version); when absent, lint degrades to vet alone

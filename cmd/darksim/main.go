@@ -64,7 +64,7 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	subcommands := map[string]bool{"verify": true, "bench": true, "scenario": true, "run": true}
+	subcommands := map[string]bool{"verify": true, "bench": true, "scenario": true, "run": true, "policy": true}
 	if len(args) == 0 || (len(args) != 1 && !subcommands[args[0]]) || (*format != "text" && *format != "json") {
 		usage()
 		os.Exit(2)
@@ -99,6 +99,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
 		}
 		os.Exit(code)
+	case "policy":
+		if err := runPolicy(ctx, args[1:], *format, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "darksim: %v\n", err)
+			os.Exit(1)
+		}
 	case "list":
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
@@ -464,6 +469,7 @@ func usage() {
        darksim verify [-update] [-golden dir] [-figs fig1,fig2,...]
        darksim bench [-out file] [-benchtime 1x|2s] [-figures=false]
        darksim scenario -spec file.json | -name <pack scenario> | -list
+       darksim policy -spec file.json | -pack <pack scenario> [-policies a,b,c] [-tune name] | -list
        darksim run [-addr url] [-duration s] [-follow] <experiment>|-spec file.json
 
 Reproduces the tables and figures of "New Trends in Dark Silicon"

@@ -92,6 +92,41 @@ func (c Constant) Next(float64) int { return c.Level }
 // Current implements sim.Controller.
 func (c Constant) Current() int { return c.Level }
 
+// Greedy is a deliberately unsafe boosting controller: it steps up every
+// control period with the temperature check disabled, climbing to MaxLevel
+// and staying there no matter how hot the chip runs. It exists as the
+// negative control for the policy sandbox's assertion engine — a correct
+// trace checker must catch it blowing through TDTM — and implements
+// sim.Controller.
+type Greedy struct {
+	// MaxLevel bounds the climb (last ladder index).
+	MaxLevel int
+
+	level int
+}
+
+// NewGreedy creates a greedy controller starting at startLevel.
+func NewGreedy(startLevel, maxLevel int) (*Greedy, error) {
+	if startLevel < 0 || maxLevel < startLevel {
+		return nil, fmt.Errorf("boost: levels start=%d max=%d", startLevel, maxLevel)
+	}
+	return &Greedy{MaxLevel: maxLevel, level: startLevel}, nil
+}
+
+// Next implements sim.Controller: always one step up, never down — the
+// peak temperature is ignored.
+func (g *Greedy) Next(float64) int {
+	if g.level < g.MaxLevel {
+		g.level++
+	}
+	return g.level
+}
+
+// Current implements sim.Controller.
+func (g *Greedy) Current() int { return g.level }
+
+var _ sim.Controller = (*Greedy)(nil)
+
 // ErrNoSafeLevel is returned when even the lowest ladder level violates
 // the thermal constraint.
 var ErrNoSafeLevel = errors.New("boost: no thermally safe constant level")

@@ -430,6 +430,22 @@ func (m *Manager) List() []Run {
 	return out
 }
 
+// ListKind lists every known run of one kind (e.g. "experiment",
+// "scenario", "policy"), oldest first; an empty kind lists everything.
+func (m *Manager) ListKind(kind string) []Run {
+	all := m.List()
+	if kind == "" {
+		return all
+	}
+	out := make([]Run, 0, len(all))
+	for _, r := range all {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Cancel requests cooperative cancellation of a run. Queued runs are
 // cancelled immediately; running runs get their context cancelled and
 // reach StateCancelled when the job returns (freeing its pool slot).

@@ -137,6 +137,29 @@ func MaxSpread(fp *floorplan.Floorplan, n int) ([]int, error) {
 	return selected, nil
 }
 
+// Replace re-places a plan's instances under a new strategy: the same
+// placements (apps, thread counts, v/f levels) get fresh cores chosen by
+// strat over the whole die, assigned in placement order. Instance
+// accounting is untouched — only the dark-silicon pattern moves.
+func Replace(pl *Plan, fp *floorplan.Floorplan, strat Strategy) (*Plan, error) {
+	cores, err := strat(fp, pl.ActiveCores())
+	if err != nil {
+		return nil, err
+	}
+	at := 0
+	out := &Plan{NumCores: pl.NumCores}
+	for _, p := range pl.Placements {
+		np := p
+		np.Cores = cores[at : at+len(p.Cores)]
+		at += len(p.Cores)
+		out.Placements = append(out.Placements, np)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Strategies returns the named placement strategies for sweep experiments.
 func Strategies() map[string]Strategy {
 	return map[string]Strategy{

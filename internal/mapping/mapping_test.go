@@ -469,3 +469,45 @@ func TestStrategyDeterminismProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestReplaceMovesNotResizes(t *testing.T) {
+	fp := grid10(t)
+	x, err := apps.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{
+		NumCores: fp.NumBlocks(),
+		Placements: []Placement{
+			{App: x, Cores: []int{40, 41, 42, 43}, FGHz: 3.0, Threads: 4},
+			{App: x, Cores: []int{44, 45}, FGHz: 2.0, Threads: 2},
+		},
+	}
+	out, err := Replace(plan, fp, PeripheryFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.ActiveCores() != plan.ActiveCores() || len(out.Placements) != len(plan.Placements) {
+		t.Fatalf("replace changed instance accounting: %+v", out)
+	}
+	for i, p := range out.Placements {
+		orig := plan.Placements[i]
+		if p.App.Name != orig.App.Name || p.FGHz != orig.FGHz || p.Threads != orig.Threads {
+			t.Fatalf("placement %d altered beyond cores: %+v vs %+v", i, p, orig)
+		}
+	}
+	// Periphery-first must pull the packed center placement outward.
+	if out.Placements[0].Cores[0] == plan.Placements[0].Cores[0] {
+		t.Fatal("replace left the center placement in place")
+	}
+	// An overbooked plan cannot be replaced.
+	big := &Plan{NumCores: 4, Placements: []Placement{
+		{App: x, Cores: []int{0, 1, 2, 3}, FGHz: 1, Threads: 4},
+	}}
+	if _, err := Replace(big, fp, PeripheryFirst); err == nil {
+		t.Fatal("replace onto a mismatched floorplan succeeded")
+	}
+}

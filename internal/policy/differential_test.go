@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"darksim/internal/boost"
+	"darksim/internal/scenario"
+	"darksim/internal/sim"
+)
+
+func testEnv(t *testing.T, pack string) *Env {
+	t.Helper()
+	spec, err := scenario.PackByName(pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestBoostAdapterMatchesSim is the differential anchor of the sandbox
+// engine: the boost and constant adapters drive the same §6 controllers
+// the Figure 11-13 experiments use, so on the same plan the sandbox must
+// reproduce sim.Run's throughput, energy, peak power and peak
+// temperature bit for bit.
+func TestBoostAdapterMatchesSim(t *testing.T) {
+	env := testEnv(t, scenario.PackSymmetric)
+	p := env.Platform
+	plan, _, err := env.Scenario.FillPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := p.BoostLadder
+	constLevel, err := boost.FindConstantLevel(p, plan, ladder, p.TDTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Duration: 0.05}
+	simOpt := sim.Options{Duration: opt.Duration, ControlPeriod: 1e-3, StartSteady: true}
+
+	cases := []struct {
+		pol  Policy
+		ctrl func() (sim.Controller, error)
+	}{
+		{NewConstant(), func() (sim.Controller, error) {
+			return boost.Constant{Level: constLevel}, nil
+		}},
+		{NewBoost(), func() (sim.Controller, error) {
+			return boost.NewClosed(p.TDTM, constLevel, len(ladder.Points)-1)
+		}},
+		{NewUnsafeBoost(), func() (sim.Controller, error) {
+			return boost.NewGreedy(constLevel, len(ladder.Points)-1)
+		}},
+	}
+	for _, tc := range cases {
+		out, err := env.Run(context.Background(), tc.pol, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pol.Name(), err)
+		}
+		if out.Err != "" {
+			t.Fatalf("%s: %s", tc.pol.Name(), out.Err)
+		}
+		ctrl, err := tc.ctrl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := sim.Run(p, plan, ctrl, ladder, simOpt)
+		if err != nil {
+			t.Fatalf("%s: sim.Run: %v", tc.pol.Name(), err)
+		}
+		if out.AvgGIPS != ref.AvgGIPS || out.EnergyJ != ref.EnergyJ ||
+			out.PeakPowerW != ref.PeakPowerW || out.MaxTempC != ref.MaxTempC ||
+			out.DTMEvents != ref.DTMEvents {
+			t.Fatalf("%s diverges from sim.Run:\nsandbox gips=%v energy=%v peakW=%v maxC=%v dtm=%d\nsim     gips=%v energy=%v peakW=%v maxC=%v dtm=%d",
+				tc.pol.Name(),
+				out.AvgGIPS, out.EnergyJ, out.PeakPowerW, out.MaxTempC, out.DTMEvents,
+				ref.AvgGIPS, ref.EnergyJ, ref.PeakPowerW, ref.MaxTempC, ref.DTMEvents)
+		}
+		if len(out.Steps) != int(opt.Duration/1e-3+0.5) {
+			t.Fatalf("%s: %d trace steps", tc.pol.Name(), len(out.Steps))
+		}
+	}
+}
+
+// TestTDPMapAdapterMatchesEvaluate checks the mapping side: the tdpmap
+// policy's plan is the scenario's own TDP fill, so the per-app instance
+// accounting must equal scenario.Evaluate's bit for bit.
+func TestTDPMapAdapterMatchesEvaluate(t *testing.T) {
+	for _, pack := range []string{
+		scenario.PackSymmetric, scenario.PackAsymmetric, scenario.PackMultiInstancing,
+	} {
+		env := testEnv(t, pack)
+		res, err := env.Scenario.Evaluate(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", pack, err)
+		}
+		plan, apps, err := env.Scenario.FillPlan()
+		if err != nil {
+			t.Fatalf("%s: %v", pack, err)
+		}
+		if !reflect.DeepEqual(apps, res.Apps) {
+			t.Fatalf("%s: FillPlan app accounting diverges from Evaluate:\n%#v\n%#v", pack, apps, res.Apps)
+		}
+		prep, err := TDPMap{}.Prepare(context.Background(), env)
+		if err != nil {
+			t.Fatalf("%s: %v", pack, err)
+		}
+		if !reflect.DeepEqual(prep.Plan, plan) {
+			t.Fatalf("%s: tdpmap plan diverges from the TDP fill", pack)
+		}
+		total := 0
+		for _, a := range res.Apps {
+			total += a.ActiveCores
+		}
+		got := 0
+		for _, pl := range prep.Plan.Placements {
+			got += len(pl.Cores)
+		}
+		if got != total {
+			t.Fatalf("%s: plan uses %d cores, Evaluate accounted %d", pack, got, total)
+		}
+	}
+}
+
+// TestPatternedKeepsInstanceCounts checks that patterning only moves
+// placements: instance counts and thread counts match the plain fill.
+func TestPatternedKeepsInstanceCounts(t *testing.T) {
+	env := testEnv(t, scenario.PackSymmetric)
+	plain, _, err := env.Scenario.FillPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := NewPatterned().Prepare(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.Plan.Placements) != len(plain.Placements) {
+		t.Fatalf("patterned has %d placements, fill %d", len(prep.Plan.Placements), len(plain.Placements))
+	}
+	moved := false
+	for i, pl := range prep.Plan.Placements {
+		if len(pl.Cores) != len(plain.Placements[i].Cores) {
+			t.Fatalf("placement %d resized %d -> %d", i, len(plain.Placements[i].Cores), len(pl.Cores))
+		}
+		if !reflect.DeepEqual(pl.Cores, plain.Placements[i].Cores) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("periphery patterning left every placement where the fill put it")
+	}
+}

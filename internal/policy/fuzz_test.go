@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"darksim/internal/trace"
+)
+
+// FuzzPolicyTrace drives the trace interchange format and the assertion
+// engine with arbitrary bytes: any input ReadSteps accepts must be
+// writable, the write must reread (scalars normalize to the writer's
+// fixed precision, so one pass may round), rereading must be idempotent
+// from then on, and the result must be checkable without a panic.
+func FuzzPolicyTrace(f *testing.F) {
+	var seed bytes.Buffer
+	if err := trace.WriteSteps(&seed, genLegalTrace(rand.New(rand.NewSource(3)), 4, 2)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("# idx\ttime_s\n"))
+	f.Add([]byte(""))
+
+	asserts := StandardAssertions(testTDTM, testMaxLevel)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		steps, err := trace.ReadSteps(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteSteps(&buf, steps); err != nil {
+			t.Fatalf("write accepted steps: %v", err)
+		}
+		norm, err := trace.ReadSteps(&buf)
+		if err != nil {
+			t.Fatalf("reread own output: %v", err)
+		}
+		buf.Reset()
+		if err := trace.WriteSteps(&buf, norm); err != nil {
+			t.Fatalf("rewrite normalized steps: %v", err)
+		}
+		again, err := trace.ReadSteps(&buf)
+		if err != nil {
+			t.Fatalf("reread normalized output: %v", err)
+		}
+		if !reflect.DeepEqual(norm, again) {
+			t.Fatalf("round trip not idempotent:\n%#v\n%#v", norm, again)
+		}
+		if _, err := Check(steps, asserts); err != nil {
+			t.Fatalf("check accepted steps: %v", err)
+		}
+	})
+}

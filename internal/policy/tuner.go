@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The tuner searches a Tunable policy's parameter box with a
+// deterministic hill climb: evaluate the defaults, then repeatedly try
+// every ±Step neighbor of the incumbent and move to the best improving
+// one; when no neighbor improves, restart once from a seeded random
+// point in the box and keep the better of the two climbs. The objective
+// is sandbox throughput (AvgGIPS); any run that errors or violates an
+// assertion scores -Inf, so the tuner cannot trade safety for speed.
+
+// TuneOptions configures a tuning search.
+type TuneOptions struct {
+	// Seed drives the random restart (same seed + same sandbox ⇒ same
+	// result). Default 1.
+	Seed int64
+	// Budget caps sandbox evaluations (default 12).
+	Budget int
+	// Sandbox configures each evaluation run.
+	Sandbox Options
+}
+
+// TuneStep records one evaluated parameter point.
+type TuneStep struct {
+	Params map[string]float64 `json:"params"`
+	Score  float64            `json:"score"`
+	// Accepted marks the winning point.
+	Accepted bool `json:"accepted"`
+}
+
+// TuneResult is the outcome of a tuning search.
+type TuneResult struct {
+	Policy        string     `json:"policy"`
+	Objective     string     `json:"objective"`
+	DefaultParams []Param    `json:"default_params"`
+	BestParams    []Param    `json:"best_params"`
+	DefaultScore  float64    `json:"default_score"`
+	BestScore     float64    `json:"best_score"`
+	Evals         int        `json:"evals"`
+	Trace         []TuneStep `json:"trace,omitempty"`
+}
+
+// Improved reports whether the search beat the defaults.
+func (r *TuneResult) Improved() bool { return r.BestScore > r.DefaultScore }
+
+// Best returns the policy reconfigured with the winning parameters.
+func (r *TuneResult) best(pol Tunable) (Policy, error) {
+	return pol.WithParams(paramMap(r.BestParams))
+}
+
+func paramMap(ps []Param) map[string]float64 {
+	m := make(map[string]float64, len(ps))
+	for _, p := range ps {
+		m[p.Name] = p.Value
+	}
+	return m
+}
+
+// Tune hill-climbs the policy's parameters against the environment and
+// returns the search record. The result's BestParams equal the defaults
+// when nothing improved.
+func (e *Env) Tune(ctx context.Context, pol Tunable, opt TuneOptions) (*TuneResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Budget == 0 {
+		opt.Budget = 12
+	}
+	if opt.Budget < 1 {
+		return nil, fmt.Errorf("%w: tune budget %d", ErrPolicy, opt.Budget)
+	}
+	box := pol.Params()
+	if len(box) == 0 {
+		return nil, fmt.Errorf("%w: policy %q has no tunable parameters", ErrPolicy, pol.Name())
+	}
+	res := &TuneResult{
+		Policy:        pol.Name(),
+		Objective:     "avg GIPS (assertion violations score -Inf)",
+		DefaultParams: box,
+	}
+
+	// Memoized objective: the climb revisits points (e.g. stepping back
+	// toward the incumbent), and cache hits do not consume budget.
+	seen := map[string]float64{}
+	eval := func(vals map[string]float64) (float64, error) {
+		key := sortedParams(vals)
+		if s, ok := seen[key]; ok {
+			return s, nil
+		}
+		if res.Evals >= opt.Budget {
+			return math.Inf(-1), nil
+		}
+		cand, err := pol.WithParams(vals)
+		if err != nil {
+			return 0, err
+		}
+		out, err := e.Run(ctx, cand, opt.Sandbox)
+		if err != nil {
+			return 0, err
+		}
+		res.Evals++
+		score := math.Inf(-1)
+		if out.Passed() {
+			score = out.AvgGIPS
+		}
+		seen[key] = score
+		res.Trace = append(res.Trace, TuneStep{Params: vals, Score: score})
+		return score, nil
+	}
+
+	defaults := paramMap(box)
+	defScore, err := eval(defaults)
+	if err != nil {
+		return nil, err
+	}
+	res.DefaultScore = defScore
+
+	bestVals, bestScore := defaults, defScore
+	climb := func(start map[string]float64, startScore float64) error {
+		cur, curScore := start, startScore
+		for {
+			var nextVals map[string]float64
+			nextScore := curScore
+			// Neighbor order is fixed (param order, minus then plus), and
+			// only strict improvement moves, so ties break toward the
+			// earliest neighbor: the climb is deterministic.
+			for _, p := range box {
+				for _, dir := range []float64{-1, 1} {
+					v := clamp(cur[p.Name]+dir*p.Step, p.Min, p.Max)
+					if v == cur[p.Name] {
+						continue
+					}
+					cand := cloneVals(cur)
+					cand[p.Name] = v
+					s, err := eval(cand)
+					if err != nil {
+						return err
+					}
+					if s > nextScore {
+						nextVals, nextScore = cand, s
+					}
+				}
+			}
+			if nextVals == nil {
+				break
+			}
+			cur, curScore = nextVals, nextScore
+			if curScore > bestScore {
+				bestVals, bestScore = cur, curScore
+			}
+		}
+		return nil
+	}
+	if err := climb(defaults, defScore); err != nil {
+		return nil, err
+	}
+
+	// One seeded random restart inside the box, snapped to the step grid
+	// so the restart explores the same lattice the climb walks.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	restart := cloneVals(defaults)
+	for _, p := range box {
+		if p.Step <= 0 || p.Max <= p.Min {
+			continue
+		}
+		n := int((p.Max-p.Min)/p.Step + 0.5)
+		restart[p.Name] = clamp(p.Min+float64(rng.Intn(n+1))*p.Step, p.Min, p.Max)
+	}
+	rs, err := eval(restart)
+	if err != nil {
+		return nil, err
+	}
+	if rs > bestScore {
+		bestVals, bestScore = restart, rs
+	}
+	if err := climb(restart, rs); err != nil {
+		return nil, err
+	}
+
+	bestKey := sortedParams(bestVals)
+	for i := range res.Trace {
+		res.Trace[i].Accepted = sortedParams(res.Trace[i].Params) == bestKey
+	}
+	res.BestScore = bestScore
+	res.BestParams = make([]Param, len(box))
+	for i, p := range box {
+		p.Value = bestVals[p.Name]
+		res.BestParams[i] = p
+	}
+	return res, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func cloneVals(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -74,7 +74,6 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	p := sc.Platform
-	plan := &mapping.Plan{NumCores: p.NumCores()}
 	res := &Result{
 		Name:         sc.Spec.Name,
 		Hash:         sc.Hash,
@@ -93,6 +92,70 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 	emitting := progress.Enabled(ctx)
 	totalPoints := len(sc.Spec.Apps) + 1 // entries + thermal summary
 
+	plan, entries, err := sc.fill(func(entryIdx int, entry AppResult) {
+		if emitting {
+			frag := fillTable(fmt.Sprintf("TDP fill — entry: %s on %s", entry.App, entry.CoreType))
+			frag.AddRow(fillRow(entry)...)
+			progress.Emit(ctx, progress.Point{Table: frag, Done: entryIdx + 1, Total: totalPoints})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Apps = entries
+
+	label := sc.Spec.Name
+	if label == "" {
+		label = "scenario " + sc.Hash[:12]
+	}
+	sum, err := p.Summarize(label, plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Summary = sum
+	res.DarkPercent = 100 * sum.DarkFraction()
+	res.ExceedsTDTM = sum.PeakTempC > p.TDTM
+
+	if sum.ActiveCores > 0 {
+		calc, err := tsp.New(p.Thermal, p.TDTM)
+		if err != nil {
+			return nil, err
+		}
+		budget, _, err := calc.WorstCase(ctx, sum.ActiveCores)
+		if err != nil {
+			return nil, err
+		}
+		res.TSPPerCoreW = budget
+	}
+	if emitting {
+		progress.Emit(ctx, progress.Point{
+			Table: res.summaryTable(), Done: totalPoints, Total: totalPoints,
+		})
+	}
+	return res, nil
+}
+
+// FillPlan runs the §3.1 TDP fill alone — the constraint-system half of
+// Evaluate, without the thermal ground truth — and returns the resulting
+// plan together with the per-entry fill outcomes. The arithmetic is
+// byte-identical to Evaluate's (both call the same fill walk), which is
+// what lets the policy sandbox's TDPmap adapter pin its instance counts
+// to scenario evaluation bit for bit.
+func (sc *Scenario) FillPlan() (*mapping.Plan, []AppResult, error) {
+	return sc.fill(nil)
+}
+
+// fill walks the workload entries in normalized order, giving each the
+// remaining TDP budget and the remaining cores of its type, powering
+// whole instances (plus one partial instance when the entry's cap allows)
+// until either runs out. onEntry, when non-nil, observes each entry's
+// outcome the moment it is decided (Evaluate streams these as progress
+// fragments).
+func (sc *Scenario) fill(onEntry func(entryIdx int, entry AppResult)) (*mapping.Plan, []AppResult, error) {
+	p := sc.Platform
+	plan := &mapping.Plan{NumCores: p.NumCores()}
+	var entries []AppResult
+
 	// cursor[type] is the next free block of that type's range.
 	cursor := make(map[string]int, len(sc.Types))
 	for _, t := range sc.Types {
@@ -102,19 +165,18 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 	for entryIdx, m := range sc.Spec.Apps {
 		ct, err := sc.typeByName(m.CoreType)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		base, err := apps.ByName(m.App)
+		app, err := sc.AppFor(m)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		app := scaleApp(base, ct)
 		perCore, err := p.CorePower(app, m.FGHz, p.TDTM)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if perCore <= 0 {
-			return nil, fmt.Errorf("scenario: non-positive per-core power for %s on %s", m.App, ct.Name)
+			return nil, nil, fmt.Errorf("scenario: non-positive per-core power for %s on %s", m.App, ct.Name)
 		}
 		// mapping.TDPMap's arithmetic: whole instances out of the
 		// budgeted cores, a partial instance only while under the cap.
@@ -170,46 +232,30 @@ func (sc *Scenario) Evaluate(ctx context.Context) (*Result, error) {
 			GIPS:               float64(instances)*app.InstanceGIPS(m.FGHz, m.Threads) + app.InstanceGIPS(m.FGHz, partial),
 		}
 		budget -= entry.PowerW
-		res.Apps = append(res.Apps, entry)
-		if emitting {
-			frag := fillTable(fmt.Sprintf("TDP fill — entry: %s on %s", entry.App, entry.CoreType))
-			frag.AddRow(fillRow(entry)...)
-			progress.Emit(ctx, progress.Point{Table: frag, Done: entryIdx + 1, Total: totalPoints})
+		entries = append(entries, entry)
+		if onEntry != nil {
+			onEntry(entryIdx, entry)
 		}
 	}
 	if err := plan.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario: fill produced an invalid plan: %w", err)
+		return nil, nil, fmt.Errorf("scenario: fill produced an invalid plan: %w", err)
 	}
+	return plan, entries, nil
+}
 
-	label := sc.Spec.Name
-	if label == "" {
-		label = "scenario " + sc.Hash[:12]
-	}
-	sum, err := p.Summarize(label, plan)
+// AppFor resolves one workload entry to its core-type-specialized catalog
+// application — the apps.App the fill (and any policy driving this
+// scenario) actually runs.
+func (sc *Scenario) AppFor(m AppMix) (apps.App, error) {
+	ct, err := sc.typeByName(m.CoreType)
 	if err != nil {
-		return nil, err
+		return apps.App{}, err
 	}
-	res.Summary = sum
-	res.DarkPercent = 100 * sum.DarkFraction()
-	res.ExceedsTDTM = sum.PeakTempC > p.TDTM
-
-	if sum.ActiveCores > 0 {
-		calc, err := tsp.New(p.Thermal, p.TDTM)
-		if err != nil {
-			return nil, err
-		}
-		budget, _, err := calc.WorstCase(ctx, sum.ActiveCores)
-		if err != nil {
-			return nil, err
-		}
-		res.TSPPerCoreW = budget
+	base, err := apps.ByName(m.App)
+	if err != nil {
+		return apps.App{}, err
 	}
-	if emitting {
-		progress.Emit(ctx, progress.Point{
-			Table: res.summaryTable(), Done: totalPoints, Total: totalPoints,
-		})
-	}
-	return res, nil
+	return scaleApp(base, ct), nil
 }
 
 // scaleApp specializes a catalog application to a core type: PerfScale

@@ -12,18 +12,22 @@ import (
 	"time"
 
 	"darksim/internal/jobs"
+	"darksim/internal/policy"
 	"darksim/internal/progress"
 	"darksim/internal/report"
 	"darksim/internal/scenario"
 )
 
 // runRequest is the POST /v1/runs body: exactly one of Experiment (with
-// an optional Duration override for the transient figures) or Scenario
-// (an inline spec, as POST /v1/scenarios accepts).
+// an optional Duration override for the transient figures), Scenario
+// (an inline spec, as POST /v1/scenarios accepts) or Policy (a sandbox
+// spec, as POST /v1/policies accepts — the natural home for long tuning
+// runs, whose per-policy frontier fragments stream as run events).
 type runRequest struct {
 	Experiment string          `json:"experiment,omitempty"`
 	Duration   float64         `json:"duration,omitempty"`
 	Scenario   json.RawMessage `json:"scenario,omitempty"`
+	Policy     json.RawMessage `json:"policy,omitempty"`
 }
 
 // runResponse is a run snapshot plus whether this submission joined an
@@ -54,9 +58,15 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing run request: %w", err))
 		return
 	}
-	if (req.Experiment == "") == (len(req.Scenario) == 0) {
+	targets := 0
+	for _, set := range []bool{req.Experiment != "", len(req.Scenario) > 0, len(req.Policy) > 0} {
+		if set {
+			targets++
+		}
+	}
+	if targets != 1 {
 		writeError(w, http.StatusBadRequest,
-			errors.New(`run request must name exactly one of "experiment" or "scenario"`))
+			errors.New(`run request must name exactly one of "experiment", "scenario" or "policy"`))
 		return
 	}
 	if req.Duration != 0 && (req.Duration < 0 || math.IsInf(req.Duration, 0) || math.IsNaN(req.Duration)) {
@@ -80,7 +90,7 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, err)
 			return
 		}
-	default:
+	case len(req.Scenario) > 0:
 		if req.Duration != 0 {
 			writeError(w, http.StatusBadRequest,
 				errors.New("duration applies to experiment runs, not scenarios"))
@@ -97,6 +107,26 @@ func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		kind, label = "scenario", spec.Name
+		if label == "" {
+			label = params["hash"][:12]
+		}
+	default:
+		if req.Duration != 0 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("duration applies to experiment runs, not policy specs (set duration_s in the spec)"))
+			return
+		}
+		spec, perr := policy.Parse(req.Policy)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+		key, params, fn, err = policyCompute(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		kind, label = "policy", spec.Name
 		if label == "" {
 			label = params["hash"][:12]
 		}
@@ -141,13 +171,14 @@ func (s *Server) runJob(key, id string, params map[string]string, fn computeFn) 
 	}
 }
 
-// handleRunList lists every known run, oldest first.
+// handleRunList lists every known run, oldest first; ?kind= restricts
+// the listing to one submission kind (experiment, scenario, policy).
 func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
-	if err := allowParams(r); err != nil {
+	if err := allowParams(r, "kind"); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.runs.List())
+	writeJSON(w, http.StatusOK, s.runs.ListKind(r.URL.Query().Get("kind")))
 }
 
 // handleRunGet returns one run's snapshot (terminal snapshots include

@@ -32,6 +32,7 @@ import (
 
 	"darksim/internal/experiments"
 	"darksim/internal/jobs"
+	"darksim/internal/policy"
 	"darksim/internal/report"
 	"darksim/internal/runner"
 	"darksim/internal/scenario"
@@ -194,6 +195,7 @@ func New(cfg Config, exps []experiments.Experiment) *Server {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
 	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioByName)
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioPost)
+	s.mux.HandleFunc("POST /v1/policies", s.handlePolicyPost)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRunSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleRunList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunGet)
@@ -542,7 +544,8 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key, id str
 			writeError(w, http.StatusGatewayTimeout, fmt.Errorf("%s: computation timed out: %w", id, err))
 		case errors.Is(err, context.Canceled):
 			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, experiments.ErrOptions), errors.Is(err, scenario.ErrSpec):
+		case errors.Is(err, experiments.ErrOptions), errors.Is(err, scenario.ErrSpec),
+			errors.Is(err, policy.ErrPolicy):
 			writeError(w, http.StatusBadRequest, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)

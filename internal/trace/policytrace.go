@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Step is one control period of a policy sandbox run (internal/policy):
+// the decision the policy made, the power partition it produced and the
+// thermal ground truth after the thermal model advanced. The assertion
+// engine checks invariants over sequences of these records, and
+// WriteSteps/ReadSteps give them the same on-disk interchange format the
+// characterization traces use.
+type Step struct {
+	// Index is the control-period number (0-based); TimeS its start time.
+	Index int
+	TimeS float64
+	// Levels is the ladder level the policy set per placement; Gated
+	// marks placements the policy power-gated for this period.
+	Levels []int
+	Gated  []bool
+	// PlacementW is each placement's summed core power this period;
+	// TotalW the chip total and MaxCoreW the hottest single core's power
+	// (what the TSP budget bounds).
+	PlacementW []float64
+	TotalW     float64
+	MaxCoreW   float64
+	// PeakC is the peak core temperature after the thermal step; GIPS
+	// and ActiveCores the throughput and powered-core count of the
+	// period; TSPPerCoreW the worst-case thermal safe power of the
+	// period's active set (0 when not evaluated).
+	PeakC       float64
+	GIPS        float64
+	ActiveCores int
+	TSPPerCoreW float64
+	// DTM records that the sandbox's emergency throttle overrode the
+	// policy's decision this period.
+	DTM bool
+}
+
+// stepColumns is the WriteSteps header; ReadSteps requires exactly this
+// field count per row.
+const stepColumns = 12
+
+// WriteSteps emits a policy trace as a tab-separated table with a header
+// line. Per-placement vectors are comma-joined; a run with zero
+// placements writes "-" so every row keeps the full column count.
+func WriteSteps(w io.Writer, steps []Step) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# idx\ttime_s\tpeak_c\ttotal_w\tmax_core_w\tgips\tactive\ttsp_w\tdtm\tlevels\tgated\tplacement_w")
+	for _, s := range steps {
+		fmt.Fprintf(bw, "%d\t%.6f\t%.4f\t%.4f\t%.5f\t%.3f\t%d\t%.5f\t%d\t%s\t%s\t%s\n",
+			s.Index, s.TimeS, s.PeakC, s.TotalW, s.MaxCoreW, s.GIPS, s.ActiveCores, s.TSPPerCoreW,
+			boolBit(s.DTM), joinInts(s.Levels), joinBools(s.Gated), joinFloats(s.PlacementW))
+	}
+	return bw.Flush()
+}
+
+// ReadSteps parses a policy trace written by WriteSteps.
+func ReadSteps(r io.Reader) ([]Step, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var steps []Step
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != stepColumns {
+			return nil, fmt.Errorf("trace: line %d: want %d fields, got %d", line, stepColumns, len(fields))
+		}
+		var s Step
+		var err error
+		if s.Index, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: idx: %w", line, err)
+		}
+		for i, dst := range []*float64{&s.TimeS, &s.PeakC, &s.TotalW, &s.MaxCoreW, &s.GIPS} {
+			if *dst, err = parseFinite(fields[1+i]); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+		}
+		if s.ActiveCores, err = strconv.Atoi(fields[6]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: active: %w", line, err)
+		}
+		if s.TSPPerCoreW, err = parseFinite(fields[7]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: tsp: %w", line, err)
+		}
+		dtm, err := strconv.Atoi(fields[8])
+		if err != nil || (dtm != 0 && dtm != 1) {
+			return nil, fmt.Errorf("trace: line %d: dtm flag %q", line, fields[8])
+		}
+		s.DTM = dtm == 1
+		if s.Levels, err = splitInts(fields[9]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: levels: %w", line, err)
+		}
+		if s.Gated, err = splitBools(fields[10]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: gated: %w", line, err)
+		}
+		if s.PlacementW, err = splitFloats(fields[11]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: placement_w: %w", line, err)
+		}
+		if len(s.Gated) != len(s.Levels) || len(s.PlacementW) != len(s.Levels) {
+			return nil, fmt.Errorf("trace: line %d: vector lengths differ (%d levels, %d gated, %d powers)",
+				line, len(s.Levels), len(s.Gated), len(s.PlacementW))
+		}
+		steps = append(steps, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if len(steps) == 0 {
+		return nil, errors.New("trace: empty input")
+	}
+	return steps, nil
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func joinInts(vs []int) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinBools(vs []bool) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(boolBit(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinFloats(vs []float64) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitInts(s string) ([]int, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func splitBools(s string) ([]bool, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]bool, len(parts))
+	for i, p := range parts {
+		switch p {
+		case "0":
+		case "1":
+			out[i] = true
+		default:
+			return nil, fmt.Errorf("bad gate bit %q", p)
+		}
+	}
+	return out, nil
+}
+
+func splitFloats(s string) ([]float64, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := parseFinite(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseFinite parses a float and rejects NaN and ±Inf: trace records are
+// physical quantities, and a non-finite value is always an upstream bug.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}

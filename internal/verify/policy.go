@@ -1,0 +1,76 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"darksim/internal/policy"
+	"darksim/internal/scenario"
+)
+
+// policySmokeDurationS keeps the layer-5 sandbox runs short; the policy
+// package's own tests cover longer horizons.
+const policySmokeDurationS = 0.05
+
+// checkPolicySandbox is verification layer 5: the policy sandbox and its
+// assertion engine must agree about the §6 machinery — the safe policy
+// trio passes every standard trace assertion on the pack workload, and
+// the negative control (boosting with the TDTM check disabled) is caught
+// with the violating step named.
+func checkPolicySandbox(ctx context.Context) []Failure {
+	fail := func(check, format string, args ...any) []Failure {
+		return []Failure{{Figure: "policy", Check: check, Detail: fmt.Sprintf(format, args...)}}
+	}
+	spec, err := scenario.PackByName(scenario.PackSymmetric)
+	if err != nil {
+		return fail("sandbox", "%v", err)
+	}
+	sc, err := scenario.Compile(spec)
+	if err != nil {
+		return fail("sandbox", "%v", err)
+	}
+	env, err := policy.NewEnv(sc)
+	if err != nil {
+		return fail("sandbox", "%v", err)
+	}
+	opt := policy.Options{Duration: policySmokeDurationS}
+
+	var fails []Failure
+	safe := []policy.Policy{policy.NewConstant(), policy.NewBoost(), policy.NewDsRem()}
+	outs, err := env.RunAll(ctx, safe, opt, nil)
+	if err != nil {
+		return fail("sandbox", "head-to-head run failed: %v", err)
+	}
+	for _, o := range outs {
+		if o.Err != "" {
+			fails = append(fails, Failure{Figure: "policy", Check: "sandbox",
+				Detail: fmt.Sprintf("%s failed to run: %s", o.Policy, o.Err)})
+			continue
+		}
+		for _, v := range o.Violations {
+			fails = append(fails, Failure{Figure: "policy", Check: "assertions",
+				Detail: fmt.Sprintf("safe policy %s violated %s — pins the policy trio staying inside the paper's thermal constraints", o.Policy, v)})
+		}
+	}
+
+	unsafe, err := env.Run(ctx, policy.NewUnsafeBoost(), opt)
+	if err != nil {
+		return append(fails, Failure{Figure: "policy", Check: "assertions",
+			Detail: fmt.Sprintf("negative control failed to run: %v", err)})
+	}
+	if unsafe.Err != "" {
+		fails = append(fails, Failure{Figure: "policy", Check: "assertions",
+			Detail: fmt.Sprintf("negative control failed to run: %s", unsafe.Err)})
+	} else if len(unsafe.Violations) == 0 {
+		fails = append(fails, Failure{Figure: "policy", Check: "assertions",
+			Detail: "boost-unsafe passed every assertion — the engine lost its teeth (pins TDTM being a real bound, §2)"})
+	} else {
+		for _, v := range unsafe.Violations {
+			if v.Step < 0 || v.Detail == "" {
+				fails = append(fails, Failure{Figure: "policy", Check: "assertions",
+					Detail: fmt.Sprintf("violation lacks step context: %+v", v)})
+			}
+		}
+	}
+	return fails
+}

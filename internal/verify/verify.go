@@ -187,6 +187,14 @@ func Run(ctx context.Context, opt Options) ([]Failure, error) {
 		fmt.Fprintf(out, "verify: scenario differential against fixed platforms\n")
 		fails = append(fails, checkScenarioDifferential(ctx)...)
 	}
+
+	// Layer 5: policy-sandbox smoke — the safe policy trio must pass
+	// every trace assertion and the negative control must be caught.
+	// Full runs only, like layer 4.
+	if len(opt.Figures) == 0 {
+		fmt.Fprintf(out, "verify: policy sandbox assertions\n")
+		fails = append(fails, checkPolicySandbox(ctx)...)
+	}
 	return fails, nil
 }
 
