@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -271,8 +273,10 @@ func runBench(ctx context.Context, args []string, w io.Writer) error {
 	compare := fs.String("compare", "", "baseline JSON report to diff against; headline regressions fail the run")
 	threshold := fs.Float64("threshold", bench.DefaultRegressionThreshold,
 		"new/old ns-per-op ratio above which a headline benchmark fails -compare")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: darksim bench [-out file] [-benchtime 1x|2s] [-figures=false] [-compare old.json [-threshold 1.25]]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: darksim bench [-out file] [-benchtime 1x|2s] [-figures=false] [-compare old.json [-threshold 1.25]] [-cpuprofile cpu.out] [-memprofile mem.out]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -281,6 +285,34 @@ func runBench(ctx context.Context, args []string, w io.Writer) error {
 	if fs.NArg() != 0 {
 		fs.Usage()
 		return fmt.Errorf("bench takes no positional arguments")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "darksim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "darksim: memprofile: %v\n", err)
+			}
+		}()
 	}
 	var baseline *bench.Report
 	if *compare != "" {

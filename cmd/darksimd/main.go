@@ -7,6 +7,7 @@
 //
 //	darksimd                       # listen on :8080
 //	darksimd -addr 127.0.0.1:9090  # custom listen address
+//	darksimd -pprof localhost:6060 # expose net/http/pprof on a side port
 //
 // Endpoints:
 //
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,15 +54,36 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight computations")
 	runStore := flag.String("run-store", "", "append-only file persisting async run history (empty = in-memory)")
 	runQueue := flag.Int("run-queue", 0, "max async runs waiting for a compute slot (0 = 64); a full queue answers 429")
+	pprofAddr := flag.String("pprof", "", "listen address for the net/http/pprof debug server, e.g. localhost:6060 (empty = disabled)")
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *cacheTTL, *computeTimeout, *workers, *drainTimeout, *runStore, *runQueue); err != nil {
+	if err := run(*addr, *cacheSize, *cacheTTL, *computeTimeout, *workers, *drainTimeout, *runStore, *runQueue, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "darksimd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize int, cacheTTL, computeTimeout time.Duration, workers int, drainTimeout time.Duration, runStore string, runQueue int) error {
+func run(addr string, cacheSize int, cacheTTL, computeTimeout time.Duration, workers int, drainTimeout time.Duration, runStore string, runQueue int, pprofAddr string) error {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if pprofAddr != "" {
+		// The profiler gets its own listener and mux so the debug surface
+		// is never reachable through the public API address, and so the
+		// service mux stays free of the DefaultServeMux side effects the
+		// net/http/pprof import is famous for.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer := &http.Server{Addr: pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Info("pprof listening", "addr", pprofAddr)
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof server", "err", err)
+			}
+		}()
+		defer pprofServer.Close()
+	}
 	var store jobs.Store
 	if runStore != "" {
 		fs, err := jobs.OpenFileStore(runStore)

@@ -16,6 +16,7 @@ import (
 
 	"darksim/internal/experiments"
 	"darksim/internal/floorplan"
+	"darksim/internal/runner"
 	"darksim/internal/thermal"
 	"darksim/internal/tsp"
 )
@@ -34,9 +35,14 @@ type Result struct {
 
 // Report is the full harness output.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Results    []Result `json:"results"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU records the machine's logical CPU count alongside
+	// GOMAXPROCS: a report taken with GOMAXPROCS=1 on a 16-way box reads
+	// very differently from one taken on a single-core container, and
+	// the parallel-figures wall-clock entry only makes sense against it.
+	NumCPU  int      `json:"numcpu"`
+	Results []Result `json:"results"`
 	// Speedups maps a benchmark family to the dense-path ns/op divided
 	// by the sparse-path ns/op measured in this same run.
 	Speedups map[string]float64 `json:"speedups"`
@@ -68,6 +74,21 @@ const tspCoreSide = 32
 // (side² = 1024 cores, the ROADMAP target for interactive TSP service).
 const influenceCoreSide = 32
 
+// transientSmallSide and transientLargeSide size the transient stepping
+// micro-benchmarks: 100 cores sits below the macro-kernel node gate on
+// both solver paths (so TransientMacro runs there), 1024 cores is the
+// sparse path's realistic large platform (above the gate — exact steps
+// only).
+const (
+	transientSmallSide = 10
+	transientLargeSide = 32
+)
+
+// macroBenchSteps is the quiet-interval length TransientMacro collapses
+// per op; the matching exact-path cost is macroBenchSteps single steps,
+// which is how computeSpeedups derives the macro speedup.
+const macroBenchSteps = 1000
+
 // spec is one named benchmark; solver optionally snapshots the stats of
 // the model the final iteration used.
 type spec struct {
@@ -85,6 +106,7 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Speedups:   make(map[string]float64),
 	}
 	for _, s := range specs {
@@ -149,6 +171,16 @@ func (rep *Report) computeSpeedups() {
 	if oks && okt && tw > 0 {
 		rep.Speedups[fmt.Sprintf("tsp_warm/cores=%d", cores)] = s / tw
 	}
+	// Macro vs exact stepping: one TransientMacro op advances
+	// macroBenchSteps periods, so the fair exact-path cost is step × k.
+	mcores := transientSmallSide * transientSmallSide
+	for _, p := range []struct{ path, key string }{{"Dense", "dense"}, {"Sparse", "sparse"}} {
+		st, okst := ns[fmt.Sprintf("TransientStep%s/cores=%d", p.path, mcores)]
+		mc, okmc := ns[fmt.Sprintf("TransientMacro%s/cores=%d", p.path, mcores)]
+		if okst && okmc && mc > 0 {
+			rep.Speedups[fmt.Sprintf("transient_macro_%s/cores=%d", p.key, mcores)] = st * macroBenchSteps / mc
+		}
+	}
 }
 
 // WriteJSON marshals the report with stable indentation.
@@ -186,7 +218,132 @@ func buildSpecs(ctx context.Context, opt Options) ([]spec, error) {
 		influenceWarmSpec(influenceCoreSide),
 		tspWarmSpec(tspCoreSide),
 	)
+	specs = append(specs,
+		transientStepSpec(transientSmallSide, thermal.SolverDense),
+		transientStepSpec(transientSmallSide, thermal.SolverSparse),
+		transientStepSpec(transientLargeSide, thermal.SolverDense),
+		transientStepSpec(transientLargeSide, thermal.SolverSparse),
+		transientMacroSpec(transientSmallSide, thermal.SolverDense),
+		transientMacroSpec(transientSmallSide, thermal.SolverSparse),
+	)
+	if opt.Figures {
+		specs = append(specs, parallelFiguresSpec(ctx))
+	}
 	return specs, nil
+}
+
+// transientModel builds the side×side-core platform the transient
+// stepping benchmarks share, with the given solver path forced, plus a
+// uniform 2 W power map.
+func transientModel(b *testing.B, side int, k thermal.SolverKind) (*thermal.Transient, []float64) {
+	b.Helper()
+	fp, err := floorplan.NewGrid(side, side, 5.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := thermal.DefaultConfig(fp.DieW, fp.DieH, side, side)
+	cfg.Solver = k
+	m, err := thermal.NewModel(fp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := m.NewTransient(1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.SetUniform(45)
+	p := make([]float64, side*side)
+	for i := range p {
+		p[i] = 2
+	}
+	return tr, p
+}
+
+// transientStepSpec measures one exact implicit-Euler transient step —
+// the unit of work every control period pays on the slow path. Model
+// construction and the factorization (warmed by one untimed step) run
+// off the clock.
+func transientStepSpec(side int, k thermal.SolverKind) spec {
+	name := fmt.Sprintf("TransientStep%s/cores=%d", pathName(k), side*side)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			tr, p := transientModel(b, side, k)
+			if _, err := tr.Step(p); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// transientMacroSpec measures collapsing a quiet macroBenchSteps-step
+// interval through the affine-powers ladder: O(log k) fused matrix
+// applies instead of k triangular solves. The kernel build (dense
+// inverse + ladder rungs) is warmed off the clock, matching how the
+// figure sweeps amortize it across a whole run.
+func transientMacroSpec(side int, k thermal.SolverKind) spec {
+	name := fmt.Sprintf("TransientMacro%s/cores=%d", pathName(k), side*side)
+	return spec{
+		name: name,
+		run: func(b *testing.B) {
+			tr, p := transientModel(b, side, k)
+			if !tr.MacroSupported() {
+				b.Fatalf("%s: macro path unsupported at %d cores", name, side*side)
+			}
+			if _, err := tr.MacroStep(p, macroBenchSteps); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.SetUniform(45)
+				if _, err := tr.MacroStep(p, macroBenchSteps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// parallelFiguresSpec measures the wall clock of the three transient
+// figures running concurrently through the runner pool at NumCPU
+// workers — the configuration `darksim all` and the daemon actually
+// serve — so the report reflects parallel throughput next to the
+// single-figure latencies (on a GOMAXPROCS=1 box the two coincide).
+func parallelFiguresSpec(ctx context.Context) spec {
+	return spec{
+		name: "FiguresParallel/figs=3",
+		run: func(b *testing.B) {
+			var figs []experiments.Experiment
+			for _, e := range experiments.Registry() {
+				if _, ok := transientBenchDuration[e.ID]; ok {
+					figs = append(figs, e)
+				}
+			}
+			if len(figs) != 3 {
+				b.Fatalf("expected 3 transient figures, found %d", len(figs))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := runner.Map(ctx, figs, runner.Options{Workers: runtime.NumCPU()},
+					func(ctx context.Context, _ int, e experiments.Experiment) (struct{}, error) {
+						_, err := experiments.RunWithDuration(ctx, e, transientBenchDuration[e.ID])
+						return struct{}{}, err
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
 }
 
 // influenceModel builds the sparse side×side-core model the influence

@@ -42,6 +42,24 @@ func TestThermalSolveSpec(t *testing.T) {
 	}
 }
 
+// TestTransientSpecs runs the transient step/macro benchmark bodies
+// once on a tiny platform: below the node gate the macro path must be
+// available on both solver paths, so the specs may not silently fall
+// back to exact stepping.
+func TestTransientSpecs(t *testing.T) {
+	for _, k := range []thermal.SolverKind{thermal.SolverDense, thermal.SolverSparse} {
+		for _, mk := range []func(int, thermal.SolverKind) spec{transientStepSpec, transientMacroSpec} {
+			s := mk(4, k)
+			if !strings.Contains(s.name, "cores=16") {
+				t.Fatalf("spec name %q", s.name)
+			}
+			if br := testing.Benchmark(s.run); br.N == 0 {
+				t.Fatalf("%s did not run", s.name)
+			}
+		}
+	}
+}
+
 func TestComputeSpeedupsAndJSON(t *testing.T) {
 	rep := &Report{
 		GoVersion: "go0.test",
@@ -54,6 +72,8 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 			{Name: "InfluenceColumn/cores=1024", NsPerOp: 40},
 			{Name: "InfluenceBlock/cores=1024", NsPerOp: 8},
 			{Name: "InfluenceWarm/cores=1024", NsPerOp: 2},
+			{Name: "TransientStepDense/cores=100", NsPerOp: 1000},
+			{Name: "TransientMacroDense/cores=100", NsPerOp: 100000},
 		},
 		Speedups: make(map[string]float64),
 	}
@@ -73,6 +93,14 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 	if got := rep.Speedups["tsp_warm/cores=1024"]; got != 5 {
 		t.Errorf("tsp warm speedup = %v", got)
 	}
+	// One macro op covers macroBenchSteps exact steps: 1000·1000/100000.
+	if got := rep.Speedups["transient_macro_dense/cores=100"]; got != 10 {
+		t.Errorf("transient macro speedup = %v", got)
+	}
+	// The sparse pair was not measured, so no entry may appear.
+	if _, ok := rep.Speedups["transient_macro_sparse/cores=100"]; ok {
+		t.Errorf("speedup for unmeasured transient pair")
+	}
 	// Families missing one path produce no entry.
 	if _, ok := rep.Speedups["thermal_solve/cores=100"]; ok {
 		t.Errorf("speedup for unmeasured family")
@@ -85,7 +113,7 @@ func TestComputeSpeedupsAndJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatalf("report JSON does not round-trip: %v", err)
 	}
-	if len(back.Results) != 8 || back.Speedups["thermal_solve/cores=1024"] != 10 {
+	if len(back.Results) != 10 || back.Speedups["thermal_solve/cores=1024"] != 10 {
 		t.Errorf("round-trip lost data: %+v", back)
 	}
 }

@@ -11,12 +11,21 @@ import (
 
 // Headline names the benchmarks the CI regression gate gates on: the
 // cold sparse thermal solve, the blocked influence-matrix build and the
-// warm (influence-cached) worst-case TSP — the three hot paths the PR 5/6
-// optimization work bought.
+// warm (influence-cached) worst-case TSP (the hot paths the PR 5/6
+// optimization work bought), the three transient figures and the
+// transient step/macro kernels behind them (the macro-stepping fast
+// path), and the parallel-figures wall clock.
 var Headline = []string{
 	"ThermalSolveSparse/cores=1024",
 	"InfluenceBlock/cores=1024",
 	"TSPWorstCaseWarm/cores=1024",
+	"figure/fig11",
+	"figure/fig12",
+	"figure/fig13",
+	"TransientStepDense/cores=100",
+	"TransientStepSparse/cores=1024",
+	"TransientMacroDense/cores=100",
+	"FiguresParallel/figs=3",
 }
 
 // DefaultRegressionThreshold fails the comparison when a headline
@@ -58,9 +67,12 @@ func ReadReport(path string) (*Report, error) {
 // present in both reports yields a Delta (sorted by name, headline
 // entries first). The returned error wraps ErrRegression when any
 // headline benchmark's new/old ratio exceeds threshold (<= 0 selects
-// DefaultRegressionThreshold); a headline benchmark missing from either
-// report is also an error, so a renamed or silently-dropped benchmark
-// cannot sneak past the gate.
+// DefaultRegressionThreshold). A headline benchmark missing from the
+// NEW report is an error, so a renamed or silently-dropped benchmark
+// cannot sneak past the gate; one missing from the BASELINE is not
+// gated — newly promoted headlines would otherwise make every older
+// baseline unusable — but still appears in the delta listing with a
+// zero baseline so the gap is visible.
 func Compare(old, cur *Report, threshold float64) ([]Delta, error) {
 	if threshold <= 0 {
 		threshold = DefaultRegressionThreshold
@@ -76,16 +88,23 @@ func Compare(old, cur *Report, threshold float64) ([]Delta, error) {
 
 	headline := make(map[string]bool, len(Headline))
 	for _, name := range Headline {
-		headline[name] = true
-		if _, ok := oldNs[name]; !ok {
-			return nil, fmt.Errorf("bench: baseline report is missing headline benchmark %q", name)
-		}
 		if _, ok := newNs[name]; !ok {
 			return nil, fmt.Errorf("bench: new report is missing headline benchmark %q", name)
 		}
+		if _, ok := oldNs[name]; !ok {
+			// Promoted after the baseline was taken: nothing to gate
+			// against yet. Listed with a zero baseline, not gated.
+			continue
+		}
+		headline[name] = true
 	}
 
 	var deltas []Delta
+	for _, name := range Headline {
+		if _, inOld := oldNs[name]; !inOld {
+			deltas = append(deltas, Delta{Name: name, NewNsOp: newNs[name], Headline: true})
+		}
+	}
 	for name, o := range oldNs {
 		n, ok := newNs[name]
 		if !ok || o <= 0 {
@@ -127,10 +146,16 @@ func WriteDeltas(w io.Writer, deltas []Delta, threshold float64) {
 	for _, d := range deltas {
 		mark := " "
 		switch {
+		case d.Headline && d.OldNsOp == 0:
+			mark = "+"
 		case d.Headline && d.Ratio > threshold:
 			mark = "!"
 		case d.Headline:
 			mark = "*"
+		}
+		if d.OldNsOp == 0 {
+			fmt.Fprintf(w, "%s %-42s %12s -> %12.0f ns/op  (new headline, no baseline entry)\n", mark, d.Name, "-", d.NewNsOp)
+			continue
 		}
 		fmt.Fprintf(w, "%s %-42s %12.0f -> %12.0f ns/op  %.2fx\n", mark, d.Name, d.OldNsOp, d.NewNsOp, d.Ratio)
 	}

@@ -66,15 +66,32 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
-func TestCompareMissingHeadlineIsError(t *testing.T) {
+func TestCompareMissingHeadline(t *testing.T) {
 	full := reportWith(headlineNs(1))
 	partial := headlineNs(1)
 	delete(partial, Headline[1])
-	if _, err := Compare(reportWith(partial), full, 0); err == nil || !strings.Contains(err.Error(), Headline[1]) {
-		t.Fatalf("missing baseline headline: err = %v", err)
-	}
+	// Dropped from the NEW report: hard error — a renamed or deleted
+	// benchmark must not slip past the gate.
 	if _, err := Compare(full, reportWith(partial), 0); err == nil || !strings.Contains(err.Error(), Headline[1]) {
 		t.Fatalf("missing new headline: err = %v", err)
+	}
+	// Missing from the BASELINE: a headline promoted after the baseline
+	// was taken is listed ungated with a zero old value, not an error.
+	deltas, err := Compare(reportWith(partial), full, 0)
+	if err != nil {
+		t.Fatalf("missing baseline headline: err = %v", err)
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Name == Headline[1] {
+			found = true
+			if d.OldNsOp != 0 || d.Ratio != 0 || !d.Headline {
+				t.Fatalf("promoted headline delta = %+v, want zero baseline marker", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("promoted headline %s absent from deltas", Headline[1])
 	}
 }
 
@@ -95,11 +112,11 @@ func TestCompareIgnoresNonSharedBenchmarks(t *testing.T) {
 }
 
 // TestBaselineAgainstItself pins the gate to the committed trajectory
-// file: the PR 6 baseline compared with itself must list every headline
+// file: the PR 10 baseline compared with itself must list every headline
 // benchmark and report no regression — so the names in Headline stay in
 // sync with what `darksim bench` actually emits.
 func TestBaselineAgainstItself(t *testing.T) {
-	path := filepath.Join("..", "..", "BENCH_PR6.json")
+	path := filepath.Join("..", "..", "BENCH_PR10.json")
 	rep, err := ReadReport(path)
 	if err != nil {
 		t.Fatalf("reading committed baseline: %v", err)

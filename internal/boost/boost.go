@@ -92,6 +92,11 @@ func (c Constant) Next(float64) int { return c.Level }
 // Current implements sim.Controller.
 func (c Constant) Current() int { return c.Level }
 
+// FixedLevel implements sim.FixedLevelController: the decision never
+// depends on the observed temperature, so quiet intervals may be
+// macro-stepped under sim.StepAuto.
+func (c Constant) FixedLevel() int { return c.Level }
+
 // Greedy is a deliberately unsafe boosting controller: it steps up every
 // control period with the temperature check disabled, climbing to MaxLevel
 // and staying there no matter how hot the chip runs. It exists as the
@@ -180,6 +185,7 @@ func FindConstantLevel(p *core.Platform, plan *mapping.Plan, ladder *vf.Ladder, 
 
 var _ sim.Controller = (*Closed)(nil)
 var _ sim.Controller = Constant{}
+var _ sim.FixedLevelController = Constant{}
 
 // PerPlacement drives one closed loop per placement: per-application DVFS
 // islands. Each loop reacts to its own placement's hottest core, so a

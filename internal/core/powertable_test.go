@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"darksim/internal/apps"
+	"darksim/internal/mapping"
+)
+
+// TestPowerCoefBitIdentical is the differential pin of the fused power
+// coefficients: across apps, thread counts, frequencies, modes and a
+// temperature sweep, PowerCoef.At must equal PlacementCorePowerAt bit
+// for bit — the fast stepping paths substitute one for the other inside
+// bit-exact differential tests.
+func TestPowerCoefBitIdentical(t *testing.T) {
+	p := plat16(t)
+	catalog := apps.Catalog()
+	for _, a := range catalog {
+		for _, threads := range []int{1, 2, 4} {
+			for _, f := range []float64{1.2, 2.0, 3.6} {
+				pl := mapping.Placement{App: a, Cores: make([]int, threads), FGHz: f, Threads: threads}
+				for _, mode := range []PowerMode{BusyWait, GatedIdle} {
+					coef, err := p.PowerCoefFor(pl, mode)
+					if err != nil {
+						t.Fatalf("%s t=%d f=%g: %v", a.Name, threads, f, err)
+					}
+					for tc := 20.0; tc <= 110; tc += 7.3 {
+						want, err := p.PlacementCorePowerAt(pl, tc, mode)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := coef.At(tc); got != want {
+							t.Fatalf("%s t=%d f=%g mode=%v T=%g: coef %v != direct %v",
+								a.Name, threads, f, mode, tc, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Infeasible frequency must error exactly like the direct path.
+	bad := mapping.Placement{App: catalog[0], Cores: []int{0}, FGHz: -1, Threads: 1}
+	if _, err := p.PowerCoefFor(bad, BusyWait); err == nil {
+		t.Fatal("want error for infeasible frequency")
+	}
+	if _, err := p.PlacementCorePowerAt(bad, 80, BusyWait); err == nil {
+		t.Fatal("direct path accepts what PowerCoefFor rejects")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync/atomic"
 
 	"darksim/internal/apps"
 	"darksim/internal/boost"
@@ -19,6 +18,13 @@ import (
 	"darksim/internal/tech"
 	"darksim/internal/vf"
 )
+
+// sweepRecordPoints is the recording-grid cap for the table-only sweeps
+// (Figures 12 and 13): they report scalar aggregates, not traces, so a
+// coarse grid suffices — and since macro-stepped quiet intervals span
+// exactly the gaps between recording points, a coarse grid turns a
+// 5000-step constant arm into a few dozen macro hops.
+const sweepRecordPoints = 64
 
 // checkDuration rejects negative or non-finite durations. Zero is always
 // allowed: it selects the figure's default run length.
@@ -54,7 +60,14 @@ func buildAppPlanInstances(p *core.Platform, a apps.App, instances, threads int,
 // transients are independent runs against read-only shared state (sim.Run
 // works on a private copy of the plan), so they execute as a pair on the
 // shared runner; ctx cancellation is honored between the phases.
-func runBoostPair(ctx context.Context, p *core.Platform, plan *mapping.Plan, duration float64) (boostRes, constRes sim.Result, constLevel int, err error) {
+//
+// Both runs use sim.StepAuto: the boosting arm degrades to exact
+// per-period stepping (its controller is stateful) while the constant arm
+// macro-steps its quiet intervals, which is where the figure sweeps spend
+// almost all of their simulated time. recordPoints caps the stored series
+// (0 = sim default); the table-only sweeps pass a small cap so quiet
+// intervals collapse into long macro hops.
+func runBoostPair(ctx context.Context, p *core.Platform, plan *mapping.Plan, duration float64, recordPoints int) (boostRes, constRes sim.Result, constLevel int, err error) {
 	ladder := p.BoostLadder
 	if err = ctx.Err(); err != nil {
 		return
@@ -67,6 +80,8 @@ func runBoostPair(ctx context.Context, p *core.Platform, plan *mapping.Plan, dur
 		Duration:      duration,
 		ControlPeriod: 1e-3,
 		StartSteady:   true,
+		StepMode:      sim.StepAuto,
+		RecordPoints:  recordPoints,
 	}
 	g, _ := runner.WithContext(ctx, 2)
 	g.Go(func(ctx context.Context) error {
@@ -90,6 +105,71 @@ func runBoostPair(ctx context.Context, p *core.Platform, plan *mapping.Plan, dur
 	})
 	err = g.Wait()
 	return
+}
+
+// runBoostSweep runs the boost-vs-constant comparison for every plan of
+// a table sweep. The two arms want opposite engines: the constant arm is
+// provably quiet, so each plan's baseline runs individually under
+// sim.StepAuto and macro-steps its intervals; the boosting arm's stateful
+// controller must step exactly, period by period — so all boosting arms
+// run as one sim.RunBatch, where every control period's triangular solve
+// streams the cached thermal factor once across the whole sweep instead
+// of once per point. Results are indexed like plans; constLevels[i] is
+// plan i's sustainable constant level. label(i) names plan i in errors
+// so a failing arm is reported with its sweep identity.
+func runBoostSweep(ctx context.Context, p *core.Platform, plans []*mapping.Plan, duration float64, recordPoints int, label func(i int) string) (boostRes, constRes []sim.Result, constLevels []int, err error) {
+	ladder := p.BoostLadder
+	opts := sim.Options{
+		Duration:      duration,
+		ControlPeriod: 1e-3,
+		StartSteady:   true,
+		StepMode:      sim.StepAuto,
+		RecordPoints:  recordPoints,
+	}
+	type constArm struct {
+		level int
+		res   sim.Result
+	}
+	// Constant arms (and the level search each boosting controller needs
+	// as its floor) are independent macro-stepped runs; fan them out on
+	// the pool.
+	arms, err := runner.Map(ctx, plans, runner.Options{}, func(ctx context.Context, i int, plan *mapping.Plan) (constArm, error) {
+		fail := func(err error) (constArm, error) {
+			return constArm{}, fmt.Errorf("%s: %w", label(i), err)
+		}
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		level, err := boost.FindConstantLevel(p, plan, ladder, p.TDTM)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := sim.Run(p, plan, boost.Constant{Level: level}, ladder, opts)
+		if err != nil {
+			return fail(err)
+		}
+		return constArm{level: level, res: res}, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lanes := make([]sim.BatchRun, len(plans))
+	constRes = make([]sim.Result, len(plans))
+	constLevels = make([]int, len(plans))
+	for i, arm := range arms {
+		constRes[i] = arm.res
+		constLevels[i] = arm.level
+		ctrl, err := boost.NewClosed(p.TDTM, arm.level, len(ladder.Points)-1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lanes[i] = sim.BatchRun{Plan: plans[i], Ctrl: ctrl}
+	}
+	boostRes, err = sim.RunBatch(ctx, p, lanes, ladder, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return boostRes, constRes, constLevels, nil
 }
 
 // Fig11Options parameterizes the transient run length.
@@ -149,7 +229,8 @@ func Fig11(ctx context.Context, opt Fig11Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, c, constLevel, err := runBoostPair(ctx, p, plan, opt.DurationS)
+	// fig11 plots full traces, so it keeps the default recording grid.
+	b, c, constLevel, err := runBoostPair(ctx, p, plan, opt.DurationS, 0)
 	if err != nil {
 		return nil, fmt.Errorf("fig11: %d x264 instances: %w", opt.Instances, err)
 	}
@@ -302,46 +383,42 @@ func Fig12(ctx context.Context, opt Fig12Options) (*Fig12Result, error) {
 			coreCounts = append(coreCounts, cores)
 		}
 	}
-	// The sweep points are independent transients against the shared
-	// (read-only) platform; run them on the pool. A failing point cancels
-	// the rest and is reported with its core count. When the context
-	// carries a progress sink, each completed point is streamed as a
-	// one-row fragment of the final table the moment it finishes, in
-	// completion order.
-	var emitted atomic.Int64
-	points, err := runner.Map(ctx, coreCounts, runner.Options{}, func(ctx context.Context, _, cores int) (Fig12Point, error) {
-		fail := func(err error) (Fig12Point, error) {
-			return Fig12Point{}, fmt.Errorf("fig12: sweep point %d active cores: %w", cores, err)
-		}
-		if err := ctx.Err(); err != nil {
-			return fail(err)
-		}
+	// Build every sweep point's plan, then hand the whole sweep to
+	// runBoostSweep: constant baselines fan out as independent
+	// macro-stepped runs (table-only sweep, so the coarse recording grid
+	// turns quiet intervals into long hops) while all boosting arms
+	// advance as one lockstep batch sharing each period's thermal solve.
+	// With a progress sink on the context, the per-point fragments stream
+	// once the batch completes, in sweep order.
+	plans := make([]*mapping.Plan, len(coreCounts))
+	for i, cores := range coreCounts {
 		plan, err := instancesPlan(p, x, cores/apps.MaxThreadsPerInstance, 3.0)
 		if err != nil {
-			return fail(err)
+			return nil, fmt.Errorf("fig12: sweep point %d active cores: %w", cores, err)
 		}
-		b, c, _, err := runBoostPair(ctx, p, plan, opt.DurationS)
-		if err != nil {
-			return fail(err)
-		}
-		pt := Fig12Point{
+		plans[i] = plan
+	}
+	boostRes, constRes, _, err := runBoostSweep(ctx, p, plans, opt.DurationS, sweepRecordPoints,
+		func(i int) string { return fmt.Sprintf("sweep point %d active cores", coreCounts[i]) })
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	points := make([]Fig12Point, len(coreCounts))
+	for i, cores := range coreCounts {
+		points[i] = Fig12Point{
 			ActiveCores: cores,
-			BoostGIPS:   b.AvgGIPS,
-			ConstGIPS:   c.AvgGIPS,
-			BoostPowerW: b.PeakPowerW,
-			ConstPowerW: c.PeakPowerW,
+			BoostGIPS:   boostRes[i].AvgGIPS,
+			ConstGIPS:   constRes[i].AvgGIPS,
+			BoostPowerW: boostRes[i].PeakPowerW,
+			ConstPowerW: constRes[i].PeakPowerW,
 		}
 		if progress.Enabled(ctx) {
 			frag := fig12Table(fmt.Sprintf("Figure 12 — sweep point: %d active cores", cores))
-			frag.AddRow(fig12Row(pt)...)
+			frag.AddRow(fig12Row(points[i])...)
 			progress.Emit(ctx, progress.Point{
-				Table: frag, Done: int(emitted.Add(1)), Total: len(coreCounts),
+				Table: frag, Done: i + 1, Total: len(coreCounts),
 			})
 		}
-		return pt, nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return &Fig12Result{Points: points}, nil
 }
@@ -453,49 +530,44 @@ func Fig13(ctx context.Context, opt Fig13Options) (*Fig13Result, error) {
 			scenarios = append(scenarios, scenario{app: a, instances: instances})
 		}
 	}
-	// Scenarios are independent transients on the shared read-only
-	// platform; run them on the pool. A failing scenario cancels the rest
-	// and is reported with its (app, instances) identity. With a progress
-	// sink on the context, each completed app×instances point streams as
-	// a one-row fragment in completion order.
-	var emitted atomic.Int64
-	rows, err := runner.Map(ctx, scenarios, runner.Options{}, func(ctx context.Context, _ int, sc scenario) (Fig13Row, error) {
-		fail := func(err error) (Fig13Row, error) {
-			return Fig13Row{}, fmt.Errorf("fig13: scenario %s x%d instances: %w", sc.app.Name, sc.instances, err)
-		}
-		if err := ctx.Err(); err != nil {
-			return fail(err)
-		}
+	// Build every scenario's plan, then hand the sweep to runBoostSweep:
+	// constant baselines fan out as independent macro-stepped runs, all
+	// boosting arms advance as one lockstep batch sharing each period's
+	// thermal solve. With a progress sink on the context, the per-scenario
+	// fragments stream once the batch completes, in sweep order.
+	plans := make([]*mapping.Plan, len(scenarios))
+	for i, sc := range scenarios {
 		plan, err := instancesPlan(p, sc.app, sc.instances, 3.0)
 		if err != nil {
-			return fail(err)
+			return nil, fmt.Errorf("fig13: scenario %s x%d instances: %w", sc.app.Name, sc.instances, err)
 		}
-		b, c, constLevel, err := runBoostPair(ctx, p, plan, opt.DurationS)
-		if err != nil {
-			return fail(err)
-		}
-		constPt := p.BoostLadder.Points[constLevel]
-		row := Fig13Row{
+		plans[i] = plan
+	}
+	boostRes, constRes, constLevels, err := runBoostSweep(ctx, p, plans, opt.DurationS, sweepRecordPoints,
+		func(i int) string { return fmt.Sprintf("scenario %s x%d instances", scenarios[i].app.Name, scenarios[i].instances) })
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	rows := make([]Fig13Row, len(scenarios))
+	for i, sc := range scenarios {
+		constPt := p.BoostLadder.Points[constLevels[i]]
+		rows[i] = Fig13Row{
 			App:        sc.app.Name,
 			Instances:  sc.instances,
-			BoostGIPS:  b.AvgGIPS,
-			ConstGIPS:  c.AvgGIPS,
-			BoostPeakW: b.PeakPowerW,
-			ConstPeakW: c.PeakPowerW,
+			BoostGIPS:  boostRes[i].AvgGIPS,
+			ConstGIPS:  constRes[i].AvgGIPS,
+			BoostPeakW: boostRes[i].PeakPowerW,
+			ConstPeakW: constRes[i].PeakPowerW,
 			MinVdd:     constPt.Vdd,
 			MinFGHz:    constPt.FGHz,
 		}
 		if progress.Enabled(ctx) {
 			frag := fig13Table(fmt.Sprintf("Figure 13 — scenario: %s x%d instances", sc.app.Name, sc.instances))
-			frag.AddRow(fig13Row(row)...)
+			frag.AddRow(fig13Row(rows[i])...)
 			progress.Emit(ctx, progress.Point{
-				Table: frag, Done: int(emitted.Add(1)), Total: len(scenarios),
+				Table: frag, Done: i + 1, Total: len(scenarios),
 			})
 		}
-		return row, nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	res := &Fig13Result{Rows: rows, MinVdd: 99, MinFGHz: 99}
 	for _, row := range rows {

@@ -1,0 +1,49 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzAffinePowers differentially tests the Mᵏ partial-sum recurrence:
+// for fuzzed (seed, size, step count), the repeated-squaring ladder must
+// agree with k explicit affine steps on a random implicit-Euler step map.
+// This is the recurrence the thermal macro-stepper trusts for whole
+// quiet intervals, so any drift here is a simulation correctness bug.
+func FuzzAffinePowers(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(10))
+	f.Add(int64(42), uint8(6), uint16(257))
+	f.Add(int64(7), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, kRaw uint16) {
+		n := int(nRaw)%7 + 1
+		k := int(kRaw)%600 + 1
+		rng := rand.New(rand.NewSource(seed))
+		m, err := randomStepMap(rng, n)
+		if err != nil {
+			t.Skip() // degenerate random draw
+		}
+		ap, err := NewAffinePowers(m, 6)
+		if err != nil {
+			t.Fatalf("NewAffinePowers: %v", err)
+		}
+		t0 := NewVector(n)
+		b := NewVector(n)
+		for i := 0; i < n; i++ {
+			t0[i] = 20 + 60*rng.Float64()
+			b[i] = rng.Float64() - 0.2
+		}
+		got := t0.Clone()
+		if err := ap.Advance(k, got, b, NewVector(n)); err != nil {
+			t.Fatalf("Advance(%d): %v", k, err)
+		}
+		want := naiveAdvance(m, t0, b, k)
+		for i := range want {
+			scale := 1 + math.Abs(want[i])
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*scale {
+				t.Fatalf("n=%d k=%d node %d: ladder %v vs naive %v (|Δ|=%g)",
+					n, k, i, got[i], want[i], d)
+			}
+		}
+	})
+}

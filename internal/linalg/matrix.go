@@ -64,6 +64,23 @@ func (m *Matrix) MulVec(x Vector) (Vector, error) {
 	return y, nil
 }
 
+// MulVecInto computes y = M·x into a caller-provided vector, for hot
+// paths that cannot afford MulVec's allocation. x and y must not alias.
+func (m *Matrix) MulVecInto(y, x Vector) error {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		return fmt.Errorf("%w: MulVecInto %dx%d by %d into %d", ErrDimension, m.Rows, m.Cols, len(x), len(y))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
 // Mul computes the matrix product A·B.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {

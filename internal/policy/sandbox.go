@@ -7,10 +7,7 @@ import (
 	"strconv"
 
 	"darksim/internal/core"
-	"darksim/internal/mapping"
-	"darksim/internal/metrics"
 	"darksim/internal/report"
-	"darksim/internal/runner"
 	"darksim/internal/trace"
 )
 
@@ -31,7 +28,10 @@ type Options struct {
 	// Assertions overrides the standard invariant set (nil = standard
 	// for the platform's TDTM and the policy's ladder).
 	Assertions []Assertion
-	// Workers bounds RunAll's parallelism (0 = runner default).
+	// Workers is retained for configuration compatibility: RunAll now
+	// races policies as one lockstep pack on a shared batched solver
+	// rather than fanning out over the runner pool, so the field has no
+	// effect on execution.
 	Workers int
 }
 
@@ -79,241 +79,20 @@ func (o *Outcome) Passed() bool { return o.Err == "" && len(o.Violations) == 0 }
 // Run executes one policy against the environment and checks its trace.
 // Errors reaching the caller are infrastructure failures (bad options,
 // context cancellation); policy-level failures (infeasible preparation,
-// assertion violations) are recorded in the Outcome.
+// assertion violations) are recorded in the Outcome. A solo run is a
+// one-lane pack: the stepping engine is the same code head-to-head races
+// use, and per lane the two are bit-for-bit identical.
 func (e *Env) Run(ctx context.Context, pol Policy, opt Options) (*Outcome, error) {
-	p := e.Platform
-	opt.fillDefaults(p)
-	if opt.Duration <= 0 || opt.ControlPeriod <= 0 || opt.ControlPeriod > opt.Duration {
-		return nil, fmt.Errorf("%w: duration %g s, control period %g s", ErrPolicy, opt.Duration, opt.ControlPeriod)
-	}
-	out := &Outcome{Policy: pol.Name(), Info: pol.Info()}
-	prep, err := pol.Prepare(ctx, e)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		out.Err = err.Error()
-		return out, nil
-	}
-	if err := e.step(ctx, prep, opt, out); err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		out.Err = err.Error()
-		return out, nil
-	}
-	asserts := opt.Assertions
-	if asserts == nil {
-		asserts = StandardAssertions(p.TDTM, len(prep.Ladder.Points)-1)
-	}
-	viols, err := Check(out.Steps, asserts)
+	outs, err := e.RunAll(ctx, []Policy{pol}, opt, nil)
 	if err != nil {
 		return nil, err
 	}
-	for i := range viols {
-		viols[i].Policy = out.Policy
-	}
-	out.Violations = viols
-	return out, nil
-}
-
-// step advances the transient co-simulation under the prepared policy,
-// appending one trace.Step per control period.
-func (e *Env) step(ctx context.Context, prep *Prepared, opt Options, out *Outcome) error {
-	p := e.Platform
-	plan, ladder, ctrl := prep.Plan, prep.Ladder, prep.Ctrl
-	if err := plan.Validate(); err != nil {
-		return err
-	}
-	if plan.NumCores != p.NumCores() {
-		return fmt.Errorf("%w: plan has %d cores, platform %d", ErrPolicy, plan.NumCores, p.NumCores())
-	}
-	steps := int(opt.Duration/opt.ControlPeriod + 0.5)
-	tr, err := p.Thermal.NewTransient(opt.ControlPeriod)
-	if err != nil {
-		return err
-	}
-
-	work := &mapping.Plan{NumCores: plan.NumCores}
-	work.Placements = append([]mapping.Placement(nil), plan.Placements...)
-	nPl := len(work.Placements)
-
-	dec := ctrl.Start()
-	if len(dec.Levels) != nPl {
-		return fmt.Errorf("%w: controller starts %d placements, plan has %d", ErrPolicy, len(dec.Levels), nPl)
-	}
-	levels := make([]int, nPl)
-	gated := make([]bool, nPl)
-	adoptDecision := func(d Decision) error {
-		if len(d.Levels) != nPl || (d.Gated != nil && len(d.Gated) != nPl) {
-			return fmt.Errorf("%w: controller returned %d levels / %d gates for %d placements",
-				ErrPolicy, len(d.Levels), len(d.Gated), nPl)
-		}
-		copy(levels, d.Levels)
-		if d.Gated == nil {
-			for i := range gated {
-				gated[i] = false
-			}
-		} else {
-			copy(gated, d.Gated)
-		}
-		return nil
-	}
-	setFreqs := func() {
-		for i := range work.Placements {
-			work.Placements[i].FGHz = ladder.Points[ladder.Clamp(levels[i])].FGHz
-		}
-	}
-	if err := adoptDecision(dec); err != nil {
-		return err
-	}
-	setFreqs()
-
-	peak, _ := tr.PeakBlockTemp()
-	if prep.StartSteady {
-		// Steady state of the initial decision's ungated placements.
-		steady := &mapping.Plan{NumCores: plan.NumCores}
-		for i, pl := range work.Placements {
-			if !gated[i] {
-				steady.Placements = append(steady.Placements, pl)
-			}
-		}
-		_, power, err := p.SteadyTemps(steady, opt.Mode)
-		if err != nil {
-			return err
-		}
-		if err := tr.SetSteadyState(power); err != nil {
-			return err
-		}
-		peak, _ = tr.PeakBlockTemp()
-	}
-
-	var energy metrics.EnergyMeter
-	out.MaxTempC = peak
-	out.Steps = make([]trace.Step, 0, steps)
-	// tspByMask memoizes the worst-case per-core TSP of each distinct
-	// gating mask — open-loop policies evaluate it exactly once.
-	tspByMask := make(map[string]float64, 2)
-	var activeSum int
-
-	temps := tr.BlockTemps()
-	power := make([]float64, plan.NumCores)
-	placementPeaks := make([]float64, nPl)
-	placementW := make([]float64, nPl)
-	for step := 0; step < steps; step++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		now := float64(step) * opt.ControlPeriod
-
-		for i, pl := range work.Placements {
-			pp := 0.0
-			for _, c := range pl.Cores {
-				if temps[c] > pp {
-					pp = temps[c]
-				}
-			}
-			placementPeaks[i] = pp
-		}
-		if err := adoptDecision(ctrl.Next(Observation{
-			Step: step, TimeS: now, PeakC: peak, PlacementPeakC: placementPeaks,
-		})); err != nil {
-			return err
-		}
-		dtm := false
-		if peak > opt.EmergencyC {
-			for i := range levels {
-				levels[i] = 0
-			}
-			dtm = true
-			out.DTMEvents++
-		}
-		setFreqs()
-
-		for i := range power {
-			power[i] = 0
-		}
-		var totalP, totalG, maxCoreW float64
-		active := 0
-		for i, pl := range work.Placements {
-			placementW[i] = 0
-			if gated[i] {
-				continue
-			}
-			totalG += pl.GIPS()
-			active += len(pl.Cores)
-			for _, c := range pl.Cores {
-				cp, err := p.PlacementCorePowerAt(pl, temps[c], opt.Mode)
-				if err != nil {
-					return err
-				}
-				power[c] = cp
-				placementW[i] += cp
-				totalP += cp
-				if cp > maxCoreW {
-					maxCoreW = cp
-				}
-			}
-		}
-
-		tspW, err := e.tspFor(ctx, work, gated, active, tspByMask)
-		if err != nil {
-			return err
-		}
-
-		temps, err = tr.Step(power)
-		if err != nil {
-			return err
-		}
-		peak = 0
-		for _, t := range temps {
-			if t > peak {
-				peak = t
-			}
-		}
-
-		if err := energy.Add(opt.ControlPeriod, totalP); err != nil {
-			return err
-		}
-		if totalP > out.PeakPowerW {
-			out.PeakPowerW = totalP
-		}
-		if peak > out.MaxTempC {
-			out.MaxTempC = peak
-		}
-		out.AvgGIPS += totalG
-		activeSum += active
-		rec := trace.Step{
-			Index:       step,
-			TimeS:       now,
-			Levels:      append([]int(nil), levels...),
-			Gated:       append([]bool(nil), gated...),
-			PlacementW:  append([]float64(nil), placementW...),
-			TotalW:      totalP,
-			MaxCoreW:    maxCoreW,
-			PeakC:       peak,
-			GIPS:        totalG,
-			ActiveCores: active,
-			TSPPerCoreW: tspW,
-			DTM:         dtm,
-		}
-		out.Steps = append(out.Steps, rec)
-	}
-	out.AvgGIPS /= float64(steps)
-	out.EnergyJ = energy.TotalJ()
-	if work := out.AvgGIPS * opt.Duration; work > 0 {
-		out.EnergyPerGinstr = out.EnergyJ / work
-	}
-	if plan.NumCores > 0 {
-		avgActive := float64(activeSum) / float64(steps)
-		out.DarkPercent = 100 * (1 - avgActive/float64(plan.NumCores))
-	}
-	return nil
+	return outs[0], nil
 }
 
 // tspFor returns the worst-case per-core TSP of the current active set,
 // memoized by gating mask (the active set only changes when gates move).
-func (e *Env) tspFor(ctx context.Context, work *mapping.Plan, gated []bool, active int, memo map[string]float64) (float64, error) {
+func (e *Env) tspFor(ctx context.Context, gated []bool, active int, memo map[string]float64) (float64, error) {
 	if active == 0 {
 		return 0, nil
 	}
@@ -337,30 +116,43 @@ func (e *Env) tspFor(ctx context.Context, work *mapping.Plan, gated []bool, acti
 	return budget, nil
 }
 
-// RunAll executes the policies head-to-head on the shared runner pool
-// and returns their outcomes in input order. Policy-level failures stay
-// inside their Outcome; only infrastructure errors (context
-// cancellation) abort the set. onDone, when non-nil, observes each
-// outcome as it completes (the service layer streams frontier rows from
-// here); calls are serialized by the runner's progress lock.
+// RunAll executes the policies head-to-head as one lockstep pack and
+// returns their outcomes in input order. All lanes advance through the
+// same control periods together, sharing one batched solve against the
+// cached thermal factorization per period (see runPack); per lane the
+// result is bit-for-bit what a solo Run produces. Policy-level failures
+// stay inside their Outcome; only infrastructure errors (bad options,
+// context cancellation) abort the set. onDone, when non-nil, observes
+// each outcome after the pack completes, in input order (the service
+// layer streams frontier rows from here).
 func (e *Env) RunAll(ctx context.Context, pols []Policy, opt Options, onDone func(*Outcome)) ([]*Outcome, error) {
-	var mu chan struct{}
-	if onDone != nil {
-		mu = make(chan struct{}, 1)
+	lanes, err := e.runPack(ctx, pols, opt)
+	if err != nil {
+		return nil, err
 	}
-	return runner.Map(ctx, pols, runner.Options{Workers: opt.Workers},
-		func(ctx context.Context, _ int, pol Policy) (*Outcome, error) {
-			out, err := e.Run(ctx, pol, opt)
+	outs := make([]*Outcome, len(lanes))
+	for i, ln := range lanes {
+		out := ln.out
+		if out.Err == "" {
+			asserts := opt.Assertions
+			if asserts == nil {
+				asserts = StandardAssertions(e.Platform.TDTM, len(ln.prep.Ladder.Points)-1)
+			}
+			viols, err := Check(out.Steps, asserts)
 			if err != nil {
-				return nil, fmt.Errorf("policy %s: %w", pol.Name(), err)
+				return nil, err
 			}
-			if onDone != nil {
-				mu <- struct{}{}
-				onDone(out)
-				<-mu
+			for j := range viols {
+				viols[j].Policy = out.Policy
 			}
-			return out, nil
-		})
+			out.Violations = viols
+		}
+		outs[i] = out
+		if onDone != nil {
+			onDone(out)
+		}
+	}
+	return outs, nil
 }
 
 // Frontier renders the head-to-head comparison: one row per policy with

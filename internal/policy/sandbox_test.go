@@ -3,9 +3,11 @@ package policy
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"darksim/internal/scenario"
 )
@@ -99,24 +101,21 @@ func TestRunAllConcurrent(t *testing.T) {
 }
 
 // TestRunAllCancel cancels a head-to-head mid-run: the call must return
-// the context error promptly and leave the pool reusable.
+// the context error promptly (the pack checks the context every control
+// period) and leave the environment reusable.
 func TestRunAllCancel(t *testing.T) {
 	env := testEnv(t, scenario.PackSymmetric)
 	ctx, cancel := context.WithCancel(context.Background())
-	started := make(chan struct{}, 8)
+	defer cancel()
 	pols := []Policy{NewConstant(), NewBoost(), NewDsRem(), NewDarkGates()}
-	go func() {
-		<-started
-		cancel()
-	}()
+	// The simulated horizon is orders of magnitude longer than the cancel
+	// delay could ever let finish, so cancellation always lands mid-run.
+	time.AfterFunc(50*time.Millisecond, cancel)
 	_, err := env.RunAll(ctx, pols, Options{
-		Duration:   1, // long enough that cancellation always lands mid-run
+		Duration:   60,
 		Assertions: []Assertion{},
-		Workers:    2,
-	}, func(*Outcome) { started <- struct{}{} })
+	}, nil)
 	if err == nil {
-		// The notify hook fires per completed policy; force the cancel
-		// path even if the first policies finished instantly.
 		t.Fatal("cancelled RunAll returned no error")
 	}
 	if ctx.Err() == nil {
@@ -199,14 +198,16 @@ func TestGatedPlacementsAreDark(t *testing.T) {
 	}
 	gated := make([]bool, len(levels))
 	gated[0] = true
-	out := &Outcome{}
-	err = env.step(context.Background(), &Prepared{
+	out, err := env.Run(context.Background(), preparedPolicy{&Prepared{
 		Plan:   prep.Plan,
 		Ladder: env.Platform.Ladder,
 		Ctrl:   staticCtrl{Decision{Levels: levels, Gated: gated}},
-	}, Options{Duration: 0.005, ControlPeriod: 1e-3, EmergencyC: 1e9}, out)
+	}}, Options{Duration: 0.005, ControlPeriod: 1e-3, EmergencyC: 1e9, Assertions: []Assertion{}})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if out.Err != "" {
+		t.Fatal(out.Err)
 	}
 	for _, s := range out.Steps {
 		if s.PlacementW[0] != 0 {
@@ -231,3 +232,34 @@ type staticCtrl struct{ d Decision }
 
 func (s staticCtrl) Start() Decision           { return s.d }
 func (s staticCtrl) Next(Observation) Decision { return s.d }
+
+// preparedPolicy injects a hand-built Prepared into the sandbox.
+type preparedPolicy struct{ prep *Prepared }
+
+func (p preparedPolicy) Name() string { return "test-prepared" }
+func (p preparedPolicy) Info() string { return "hand-built prepared policy" }
+func (p preparedPolicy) Prepare(context.Context, *Env) (*Prepared, error) { return p.prep, nil }
+
+// TestRunAllMatchesSoloRuns pins the lockstep pack's exactness contract:
+// racing policies together on the shared batched solver must produce,
+// per lane, exactly the outcome a solo Run produces — metrics, every
+// trace step, and violations, bit for bit.
+func TestRunAllMatchesSoloRuns(t *testing.T) {
+	env := testEnv(t, scenario.PackSymmetric)
+	pols := []Policy{NewConstant(), NewBoost(), NewDsRem(), NewDarkGates()}
+	opt := Options{Duration: 0.03}
+	packed, err := env.RunAll(context.Background(), pols, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pol := range pols {
+		solo, err := env.Run(context.Background(), pol, opt)
+		if err != nil {
+			t.Fatalf("%s solo: %v", pol.Name(), err)
+		}
+		if !reflect.DeepEqual(packed[i], solo) {
+			t.Fatalf("%s: pack outcome diverges from solo run\npack: %+v\nsolo: %+v",
+				pol.Name(), packed[i], solo)
+		}
+	}
+}

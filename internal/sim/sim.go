@@ -39,6 +39,51 @@ type Controller interface {
 	Current() int
 }
 
+// FixedLevelController marks controllers that are stateless and always
+// answer with one level regardless of temperature (the constant-level
+// arms of Figures 11–13). Under StepAuto the engine may skip Next calls
+// across a quiet interval for such controllers and advance the thermal
+// state in one macro-step; implementations must guarantee Next is
+// side-effect-free and constant.
+type FixedLevelController interface {
+	Controller
+	// FixedLevel returns the controller's one level.
+	FixedLevel() int
+}
+
+// StepMode selects how the engine advances the thermal model.
+type StepMode int
+
+const (
+	// StepExact advances period by period through the exact implicit-
+	// Euler kernel: the historical behaviour, bit-for-bit. It is the
+	// default and what every differential pin runs under.
+	StepExact StepMode = iota
+	// StepAuto lets the engine macro-step quiet intervals — stretches
+	// where a FixedLevelController holds the level on a static plan well
+	// below the DTM emergency threshold — by freezing the power map for
+	// the interval and collapsing its steps into O(log k) matrix applies
+	// with a steady-state snap (see internal/thermal's macro kernel).
+	// Recorded series keep their per-period sampling grid; between
+	// samples the frozen-power trajectory replaces the per-period
+	// leakage re-evaluation, a drift bounded well inside the golden
+	// corpus tolerance (see the sim property tests). Runs whose
+	// controller, provider or Observer cannot be proven quiet degrade to
+	// StepExact bit for bit.
+	StepAuto
+)
+
+// stepAutoSnapTolC is the node-space distance (°C) below which a quiet
+// interval snaps onto its frozen-power steady state.
+const stepAutoSnapTolC = 0.01
+
+// macroDTMGuardC is the safety margin (°C) kept between any macro-
+// stepped trajectory and the DTM emergency threshold: segments whose
+// start or frozen steady state comes within the guard fall back to
+// per-period stepping so emergency throttling keeps its per-period
+// resolution.
+const macroDTMGuardC = 1.0
+
 // Options configures a transient run.
 type Options struct {
 	// Duration of the simulated run in seconds. Required.
@@ -57,6 +102,9 @@ type Options struct {
 	// controller's first level rather than a cold (ambient) chip, so
 	// short runs measure the sustained regime the paper plots.
 	StartSteady bool
+	// StepMode selects exact per-period stepping (default) or the
+	// macro-stepping fast path for provably quiet intervals.
+	StepMode StepMode
 	// Observer, when set, is invoked after every control period with the
 	// simulated time and the per-core temperature and power vectors (not
 	// copies — observers must not retain or mutate them). Aging
@@ -149,6 +197,19 @@ func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder
 		return Result{}, err
 	}
 
+	// Fast-path state (StepAuto): fused power coefficients per level —
+	// bit-identical to PlacementCorePowerAt, see core.PowerCoef — and
+	// macro-step eligibility. Eligibility is proven, not assumed: the
+	// controller must be a FixedLevelController, the plan static, no
+	// Observer attached and the model under the macro kernel's node
+	// gate; anything else steps exactly, period by period.
+	useAuto := opt.StepMode == StepAuto
+	type levelPower struct {
+		coefs  []core.PowerCoef
+		totalG float64
+	}
+	byLevel := map[int]*levelPower{}
+
 	// Working copy of the current plan so the controller can retune
 	// frequencies without mutating the provider's plans. Each distinct
 	// plan pointer is validated once.
@@ -173,6 +234,9 @@ func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder
 		}
 		current = next
 		work.Placements = append(work.Placements[:0], next.Placements...)
+		for k := range byLevel {
+			delete(byLevel, k)
+		}
 		return nil
 	}
 	if err := adopt(plan); err != nil {
@@ -185,6 +249,26 @@ func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder
 			work.Placements[i].FGHz = f
 		}
 		return f
+	}
+
+	// levelPowerFor caches the fused coefficients for the current level;
+	// setLevel(level) must have run first. The cache is invalidated on
+	// plan adoption (adopt clears it below).
+	levelPowerFor := func(level int) (*levelPower, error) {
+		if lp, ok := byLevel[level]; ok {
+			return lp, nil
+		}
+		lp := &levelPower{coefs: make([]core.PowerCoef, len(work.Placements))}
+		for i, pl := range work.Placements {
+			c, err := p.PowerCoefFor(pl, opt.Mode)
+			if err != nil {
+				return nil, err
+			}
+			lp.coefs[i] = c
+			lp.totalG += pl.GIPS()
+		}
+		byLevel[level] = lp
+		return lp, nil
 	}
 
 	// Initial state: the controller's current level, without advancing
@@ -207,14 +291,108 @@ func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder
 	var energy metrics.EnergyMeter
 	res.MaxTempC = peak
 
+	// Macro-step eligibility for quiet intervals. Note the short-circuit
+	// order: the macro kernel is only built once a run has proven itself
+	// quiet in every other respect.
+	fixed, _ := ctrl.(FixedLevelController)
+	_, static := provider.(StaticPlan)
+	macroOK := useAuto && fixed != nil && static && opt.Observer == nil && tr.MacroSupported()
+	maxSafeC := opt.EmergencyC - macroDTMGuardC
+
+	// evalPower fills power[] from the current temperatures and returns
+	// (ΣP, ΣGIPS). The coefficient path and the direct path are
+	// bit-identical per core; StepExact keeps the direct path anyway so
+	// the historical pins exercise historical code.
 	temps := tr.BlockTemps()
 	power := make([]float64, p.NumCores())
+	evalPower := func(level int) (totalP, totalG float64, err error) {
+		for i := range power {
+			power[i] = 0
+		}
+		if useAuto {
+			lp, err := levelPowerFor(level)
+			if err != nil {
+				return 0, 0, err
+			}
+			for pi, pl := range work.Placements {
+				for _, c := range pl.Cores {
+					cp := lp.coefs[pi].At(temps[c])
+					power[c] = cp
+					totalP += cp
+				}
+			}
+			return totalP, lp.totalG, nil
+		}
+		for _, pl := range work.Placements {
+			totalG += pl.GIPS()
+			for _, c := range pl.Cores {
+				cp, err := p.PlacementCorePowerAt(pl, temps[c], opt.Mode)
+				if err != nil {
+					return 0, 0, err
+				}
+				power[c] = cp
+				totalP += cp
+			}
+		}
+		return totalP, totalG, nil
+	}
+
 	for step := 0; step < steps; step++ {
 		now := float64(step) * opt.ControlPeriod
 
 		// Workload migration (spatio-temporal mapping).
 		if err := adopt(provider.PlanAt(now)); err != nil {
 			return Result{}, err
+		}
+
+		// Quiet interval: collapse every step up to the next recording
+		// point into one macro advance of the frozen power map. The
+		// interval must start and (per its frozen steady state) stay a
+		// guard band below the DTM threshold, else it falls through to
+		// the exact per-period path and its emergency checks.
+		if macroOK && peak <= maxSafeC {
+			end := step + (recordEvery-step%recordEvery)%recordEvery
+			if end > steps-1 {
+				end = steps - 1
+			}
+			k := end - step + 1
+			level = ladder.Clamp(fixed.FixedLevel())
+			fGHz := setLevel(level)
+			totalP, totalG, err := evalPower(level)
+			if err != nil {
+				return Result{}, err
+			}
+			next, ok, err := tr.AdvanceQuiet(power, k, stepAutoSnapTolC, maxSafeC)
+			if err != nil {
+				return Result{}, err
+			}
+			if ok {
+				temps = next
+				peak = 0
+				for _, t := range temps {
+					if t > peak {
+						peak = t
+					}
+				}
+				if err := energy.Add(float64(k)*opt.ControlPeriod, totalP); err != nil {
+					return Result{}, err
+				}
+				if totalP > res.PeakPowerW {
+					res.PeakPowerW = totalP
+				}
+				if peak > res.MaxTempC {
+					res.MaxTempC = peak
+				}
+				res.AvgGIPS += totalG * float64(k)
+				endNow := float64(end) * opt.ControlPeriod
+				res.Time.Append(endNow, endNow)
+				res.GIPS.Append(endNow, totalG)
+				res.PeakTemp.Append(endNow, peak)
+				res.PowerW.Append(endNow, totalP)
+				res.LevelGHz.Append(endNow, fGHz)
+				step = end
+				continue
+			}
 		}
 
 		// Controller decision (with DTM emergency override).
@@ -226,20 +404,9 @@ func RunDynamic(p *core.Platform, provider PlanProvider, ctrl Controller, ladder
 		fGHz := setLevel(level)
 
 		// Per-core power at current temperatures.
-		for i := range power {
-			power[i] = 0
-		}
-		var totalP, totalG float64
-		for _, pl := range work.Placements {
-			totalG += pl.GIPS()
-			for _, c := range pl.Cores {
-				cp, err := p.PlacementCorePowerAt(pl, temps[c], opt.Mode)
-				if err != nil {
-					return Result{}, err
-				}
-				power[c] = cp
-				totalP += cp
-			}
+		totalP, totalG, err := evalPower(level)
+		if err != nil {
+			return Result{}, err
 		}
 
 		// Advance the thermal state.

@@ -66,10 +66,18 @@ type Model struct {
 }
 
 // transFactor bundles the per-dt transient system: the factored
-// (C/dt + G) matrix and the C/dt diagonal.
+// (C/dt + G) matrix and the C/dt diagonal. The macro-stepping kernel
+// (see macro.go) is cached here, next to the factor, so every transient
+// over one (model, dt) pair — a sweep's worth of boosting runs — shares
+// one inverse and one ladder of affine powers.
 type transFactor struct {
 	fac   *factor
 	capDt linalg.Vector
+
+	macroMu  sync.Mutex
+	macro    *macroKernel
+	macroErr error
+	macroUp  bool // a build was attempted; macro/macroErr are final
 }
 
 type cellShare struct {
@@ -334,25 +342,42 @@ func (m *Model) Conductances() *linalg.CSR { return m.gs }
 
 // nodePower expands per-block power into per-node power.
 func (m *Model) nodePower(blockPower []float64) (linalg.Vector, error) {
-	if len(blockPower) != len(m.blockCells) {
-		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(blockPower), len(m.blockCells))
-	}
 	p := linalg.NewVector(len(m.cells))
+	if err := m.nodePowerInto(p, blockPower); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// nodePowerInto expands per-block power into per-node power without
+// allocating; dst must have NumNodes length and is overwritten.
+func (m *Model) nodePowerInto(dst linalg.Vector, blockPower []float64) error {
+	if len(blockPower) != len(m.blockCells) {
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(blockPower), len(m.blockCells))
+	}
+	dst.Fill(0)
 	for bi, shares := range m.blockCells {
 		pw := blockPower[bi]
 		if pw < 0 {
-			return nil, fmt.Errorf("thermal: negative power %g W for block %d", pw, bi)
+			return fmt.Errorf("thermal: negative power %g W for block %d", pw, bi)
 		}
 		for _, s := range shares {
-			p[s.node] += pw * s.fraction
+			dst[s.node] += pw * s.fraction
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // blockTemps reduces node temperatures to per-block temperatures.
 func (m *Model) blockTemps(nodeT linalg.Vector) []float64 {
 	out := make([]float64, len(m.blockCells))
+	m.blockTempsInto(out, nodeT)
+	return out
+}
+
+// blockTempsInto reduces node temperatures into a caller-provided
+// per-block slice of NumBlocks length.
+func (m *Model) blockTempsInto(out []float64, nodeT linalg.Vector) {
 	for bi, shares := range m.blockCells {
 		var t float64
 		for _, s := range shares {
@@ -360,7 +385,6 @@ func (m *Model) blockTemps(nodeT linalg.Vector) []float64 {
 		}
 		out[bi] = t
 	}
-	return out
 }
 
 // SteadyState returns the steady-state temperature of every floorplan

@@ -20,6 +20,12 @@ import (
 // handful of iterations at small dt because consecutive states are
 // close. This is what makes the paper's §6 boosting experiments (100 s
 // at 1 ms control period, i.e. 10⁵ steps) tractable.
+//
+// On top of the exact per-step path, MacroStep and AdvanceQuiet expose
+// the macro-stepping fast path for intervals of frozen power (see
+// macro.go). Step itself is untouched by the fast path: it performs the
+// same floating-point operations as it always has, which is what the
+// bit-for-bit differential pins rely on.
 type Transient struct {
 	m  *Model
 	dt float64
@@ -29,6 +35,20 @@ type Transient struct {
 	// Transient is not safe for concurrent Steps, so no pooling needed.
 	cgs *linalg.CGSolver
 	x   linalg.Vector
+
+	// rhs is the pooled node-power / right-hand-side buffer every step
+	// assembles into; on the dense path it swaps with t after the solve.
+	rhs linalg.Vector
+
+	// Macro-path state: ladder vectors and the frozen-power steady-state
+	// cache. tinf is T∞ for the power map frozen in tinfPow; steadyCG
+	// warm-starts successive T∞ solves on the sparse path, where
+	// consecutive frozen power maps differ only through leakage drift.
+	b, scratch linalg.Vector
+	tinf       linalg.Vector
+	tinfPow    []float64
+	haveTinf   bool
+	steadyCG   *linalg.CGSolver
 }
 
 // NewTransient creates a transient integrator with step size dt (seconds),
@@ -42,10 +62,11 @@ func (m *Model) NewTransient(dt float64) (*Transient, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := &Transient{m: m, dt: dt, tf: tf, t: m.ambNodes.Clone()}
+	n := len(m.cells)
+	tr := &Transient{m: m, dt: dt, tf: tf, t: m.ambNodes.Clone(), rhs: linalg.NewVector(n)}
 	if tf.fac.sparse() {
 		tr.cgs = tf.fac.newSolver()
-		tr.x = linalg.NewVector(len(m.cells))
+		tr.x = linalg.NewVector(n)
 	}
 	return tr, nil
 }
@@ -73,17 +94,26 @@ func (tr *Transient) SetSteadyState(blockPower []float64) error {
 // Step advances the model by one dt under the given per-block power map
 // and returns the resulting per-block temperatures.
 func (tr *Transient) Step(blockPower []float64) ([]float64, error) {
-	p, err := tr.m.nodePower(blockPower)
-	if err != nil {
+	if err := tr.m.nodePowerInto(tr.rhs, blockPower); err != nil {
 		return nil, err
 	}
+	if err := tr.stepNodes(); err != nil {
+		return nil, err
+	}
+	return tr.m.blockTemps(tr.t), nil
+}
+
+// stepNodes performs one implicit-Euler step assuming tr.rhs holds the
+// expanded node power; it completes the right-hand side and solves.
+func (tr *Transient) stepNodes() error {
+	p := tr.rhs
 	for i := range p {
 		p[i] += tr.tf.capDt[i]*tr.t[i] + tr.m.ambRHS[i]
 	}
 	if tr.cgs == nil {
 		tr.tf.fac.chol.SolveInPlace(p)
 		tr.tf.fac.record(linalg.CGStats{})
-		tr.t = p
+		tr.t, tr.rhs = p, tr.t
 	} else {
 		// Warm start from the current temperatures: at control-period
 		// step sizes consecutive states differ by millikelvins, so CG
@@ -92,11 +122,184 @@ func (tr *Transient) Step(blockPower []float64) ([]float64, error) {
 		st, err := tr.cgs.Solve(p, tr.x)
 		tr.tf.fac.record(st)
 		if err != nil {
-			return nil, fmt.Errorf("thermal: transient step: %w", err)
+			return fmt.Errorf("thermal: transient step: %w", err)
 		}
 		tr.t, tr.x = tr.x, tr.t
 	}
+	return nil
+}
+
+// MacroSupported reports whether this model/dt pair can macro-step,
+// building the kernel on first call. Models above the macro node gate
+// always return false and keep the exact path.
+func (tr *Transient) MacroSupported() bool {
+	k, err := tr.tf.kernel(tr.m)
+	return err == nil && k != nil
+}
+
+// MacroStep advances k implicit-Euler steps under a power map frozen for
+// the whole interval and returns the resulting per-block temperatures.
+// With the kernel available and k at least macroMinSteps the advance
+// costs O(log k) fused matrix applies; otherwise it degrades to k exact
+// steps of the frozen map. Against k exact steps the ladder agrees to
+// ~1e-9 (see the property tests); it is NOT bit-identical, which is why
+// the simulator only routes provably quiet intervals here.
+func (tr *Transient) MacroStep(blockPower []float64, k int) ([]float64, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: macro step count %d", ErrConfig, k)
+	}
+	kern, err := tr.tf.kernel(tr.m)
+	if err != nil {
+		return nil, err
+	}
+	if kern == nil || k < macroMinSteps {
+		return tr.stepFrozen(blockPower, k)
+	}
+	if err := tr.m.nodePowerInto(tr.rhs, blockPower); err != nil {
+		return nil, err
+	}
+	tr.ensureMacroBufs()
+	p := tr.rhs
+	for i := range p {
+		p[i] += tr.m.ambRHS[i]
+	}
+	if err := kern.ainv.MulVecInto(tr.b, p); err != nil {
+		return nil, err
+	}
+	if err := kern.powers.Advance(k, tr.t, tr.b, tr.scratch); err != nil {
+		return nil, err
+	}
 	return tr.m.blockTemps(tr.t), nil
+}
+
+// stepFrozen is the exact fallback of MacroStep: k ordinary steps with
+// the node power expanded once.
+func (tr *Transient) stepFrozen(blockPower []float64, k int) ([]float64, error) {
+	tr.ensureMacroBufs()
+	if err := tr.m.nodePowerInto(tr.b, blockPower); err != nil {
+		return nil, err
+	}
+	for s := 0; s < k; s++ {
+		copy(tr.rhs, tr.b)
+		if err := tr.stepNodes(); err != nil {
+			return nil, err
+		}
+	}
+	return tr.m.blockTemps(tr.t), nil
+}
+
+// AdvanceQuiet advances k steps of a quiet interval — a stretch where
+// the caller holds the power map constant — and returns the resulting
+// per-block temperatures. Once the state is within snapTolC (°C, per
+// node) of the frozen-power steady state it snaps there exactly, after
+// which identical power maps advance for free. When maxSafeC > 0 and
+// the frozen steady state would peak above it, AdvanceQuiet refuses
+// (ok=false) without advancing, so the caller can fall back to exact
+// per-period stepping and keep its thermal-emergency checks intact.
+func (tr *Transient) AdvanceQuiet(blockPower []float64, k int, snapTolC, maxSafeC float64) (temps []float64, ok bool, err error) {
+	if k <= 0 {
+		return nil, false, fmt.Errorf("%w: quiet advance of %d steps", ErrConfig, k)
+	}
+	tinf, err := tr.frozenSteadyNodes(blockPower)
+	if err != nil {
+		return nil, false, err
+	}
+	if maxSafeC > 0 {
+		peak, _ := linalg.Vector(tr.m.blockTemps(tinf)).Max()
+		if peak > maxSafeC {
+			return nil, false, nil
+		}
+	}
+	if dist := nodeDistInf(tr.t, tinf); dist <= snapTolC {
+		copy(tr.t, tinf)
+		return tr.m.blockTemps(tr.t), true, nil
+	}
+	temps, err = tr.MacroStep(blockPower, k)
+	if err != nil {
+		return nil, false, err
+	}
+	// Post-advance snap: landing exactly on T∞ makes the *next* quiet
+	// interval with a bitwise-identical power map free.
+	if dist := nodeDistInf(tr.t, tinf); dist <= snapTolC {
+		copy(tr.t, tinf)
+		temps = tr.m.blockTemps(tr.t)
+	}
+	return temps, true, nil
+}
+
+// frozenSteadyNodes returns the steady-state node temperatures for a
+// frozen power map, cached while the map stays bitwise identical — the
+// steady state of a settled control loop is recomputed exactly once.
+func (tr *Transient) frozenSteadyNodes(blockPower []float64) (linalg.Vector, error) {
+	if tr.haveTinf && floatsEqual(tr.tinfPow, blockPower) {
+		return tr.tinf, nil
+	}
+	tr.ensureMacroBufs()
+	if err := tr.m.nodePowerInto(tr.scratch, blockPower); err != nil {
+		return nil, err
+	}
+	rhs := tr.scratch
+	rhs.AddScaled(1, tr.m.ambRHS)
+	if !tr.m.steady.sparse() {
+		tr.m.steady.chol.SolveInPlace(rhs)
+		tr.m.steady.record(linalg.CGStats{})
+		copy(tr.tinf, rhs)
+	} else {
+		if tr.steadyCG == nil {
+			tr.steadyCG = tr.m.steady.newSolver()
+		}
+		// Warm start from the previous steady target (or the current
+		// state on the first solve): successive frozen power maps differ
+		// only by leakage drift, so CG converges in a few iterations.
+		if !tr.haveTinf {
+			copy(tr.tinf, tr.t)
+		}
+		st, err := tr.steadyCG.Solve(rhs, tr.tinf)
+		tr.m.steady.record(st)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: frozen steady state: %w", err)
+		}
+	}
+	tr.tinfPow = append(tr.tinfPow[:0], blockPower...)
+	tr.haveTinf = true
+	return tr.tinf, nil
+}
+
+// ensureMacroBufs allocates the macro-path vectors on first use, so
+// exact-only transients never pay for them.
+func (tr *Transient) ensureMacroBufs() {
+	if tr.b == nil {
+		n := len(tr.t)
+		tr.b = linalg.NewVector(n)
+		tr.scratch = linalg.NewVector(n)
+		tr.tinf = linalg.NewVector(n)
+	}
+}
+
+// nodeDistInf returns ‖a−b‖∞.
+func nodeDistInf(a, b linalg.Vector) float64 {
+	d := 0.0
+	for i, v := range a {
+		if dv := v - b[i]; dv > d {
+			d = dv
+		} else if -dv > d {
+			d = -dv
+		}
+	}
+	return d
+}
+
+// floatsEqual reports bitwise equality of two float slices.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // BlockTemps returns the current per-block temperatures.
